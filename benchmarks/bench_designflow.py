@@ -1,0 +1,108 @@
+"""Experiments F1 + F2: the paper's Fig. 1 vs Fig. 2 design flows.
+
+Regenerates, as tables:
+* F1 -- the electronic regime (accurate models, slow costly fab):
+  simulate-first converges in ~1 tape-out and wins.
+* F2 -- the fluidic regime (uncertain models, 2-3 day cheap fab):
+  build-and-test wins on calendar time and cost.
+* the crossover map over (model error, fab turnaround).
+"""
+
+from conftest import report
+
+from repro.analysis import ascii_table, format_eur, format_seconds
+from repro.designflow import (
+    crossover_sweep,
+    electronic_scenario,
+    fluidic_scenario,
+)
+
+RUNS = 150
+
+
+def _scenario_rows(sim_stats, build_stats):
+    rows = []
+    for stats in (sim_stats, build_stats):
+        rows.append(
+            [
+                stats.flow,
+                f"{stats.success_rate:.0%}",
+                format_seconds(stats.median_time),
+                format_eur(stats.median_cost),
+                f"{stats.mean_fabrications:.2f}",
+                f"{stats.mean_simulations:.1f}",
+            ]
+        )
+    return rows
+
+
+HEADERS = ["flow", "success", "median time", "median cost", "fabs", "sims"]
+
+
+def test_fig1_electronic_flow(benchmark):
+    """F1: simulate-first wins the electronic regime (Fig. 1)."""
+    sim_stats, build_stats = benchmark(electronic_scenario, runs=RUNS, seed=0)
+    report(
+        ascii_table(
+            HEADERS,
+            _scenario_rows(sim_stats, build_stats),
+            title="F1 (Fig. 1 regime): IC block -- accurate models, MPW fab",
+        )
+    )
+    assert sim_stats.median_time < build_stats.median_time
+    assert sim_stats.median_cost < build_stats.median_cost
+    # the Fig. 1 promise: essentially one fabrication
+    assert sim_stats.mean_fabrications < 1.5
+
+
+def test_fig2_fluidic_flow(benchmark):
+    """F2: build-and-test wins the fluidic regime (Fig. 2)."""
+    sim_stats, build_stats = benchmark(fluidic_scenario, runs=RUNS, seed=0)
+    report(
+        ascii_table(
+            HEADERS,
+            _scenario_rows(sim_stats, build_stats),
+            title="F2 (Fig. 2 regime): fluidic package -- poor models, dry-film fab",
+        )
+    )
+    assert build_stats.median_time < sim_stats.median_time
+    assert build_stats.median_cost < sim_stats.median_cost
+    # the win is substantial, not marginal (paper: a new work-flow)
+    assert sim_stats.median_time / build_stats.median_time > 1.5
+
+
+def test_flow_crossover(benchmark):
+    """F1/F2 synthesis: map which flow wins across the design space."""
+    points = benchmark(
+        crossover_sweep,
+        sigmas=(0.02, 0.05, 0.1, 0.2, 0.4),
+        turnarounds_days=(2.5, 10.0, 30.0, 90.0),
+        runs=60,
+        seed=0,
+    )
+    rows = [
+        [
+            f"{p.sigma:.2f}",
+            format_seconds(p.turnaround),
+            format_seconds(p.sim_first_time),
+            format_seconds(p.build_test_time),
+            "build-test" if p.build_test_wins else "simulate-first",
+        ]
+        for p in points
+    ]
+    report(
+        ascii_table(
+            ["model sigma", "fab turnaround", "sim-first time", "build-test time", "winner"],
+            rows,
+            title="Design-flow crossover (median project time)",
+        )
+    )
+    by_key = {(p.sigma, round(p.turnaround / 86400.0, 1)): p for p in points}
+    # fluidic corner: high uncertainty + fast fab -> build-test
+    assert by_key[(0.4, 2.5)].build_test_wins
+    # electronic corner: low uncertainty + slow fab -> simulate-first
+    assert not by_key[(0.02, 90.0)].build_test_wins
+    # monotone trend: at 2.5-day fab, higher sigma only helps build-test
+    fast_fab = [by_key[(s, 2.5)].build_test_wins for s in (0.02, 0.05, 0.1, 0.2, 0.4)]
+    first_win = fast_fab.index(True) if True in fast_fab else len(fast_fab)
+    assert all(fast_fab[first_win:])

@@ -1,0 +1,90 @@
+"""Experiment C5: the dry-film fabrication economics.
+
+"two-three days from design to device ... very low cost both for the
+masks (few euros) and overall set-up for fabrication (tens of thousands
+of euros)" -- vs a CMOS prototype run.
+
+Regenerates the per-process cost/turnaround table and the
+fluidic-vs-CMOS iteration ratios.
+"""
+
+from conftest import report
+
+from repro.analysis import ascii_table, format_eur, format_seconds
+from repro.packaging import (
+    cmos_mpw_iteration,
+    cost_ratio,
+    dry_film_iteration,
+    dry_film_process,
+    full_mask_set_iteration,
+    glass_etch_process,
+    iteration_from_process,
+    pdms_process,
+    turnaround_ratio,
+)
+from repro.physics.constants import days
+from repro.technology import PAPER_NODE
+
+
+def test_process_comparison(benchmark):
+    def build():
+        processes = [dry_film_process(), pdms_process(), glass_etch_process()]
+        return [iteration_from_process(p) for p in processes], processes
+
+    iterations, processes = benchmark(build)
+    rows = [
+        [
+            it.name,
+            format_eur(it.setup_cost),
+            format_eur(it.cost),
+            format_seconds(it.turnaround),
+            f"{process.batch_yield():.0%}",
+        ]
+        for it, process in zip(iterations, processes)
+    ]
+    report(
+        ascii_table(
+            ["process", "setup", "per iteration", "turnaround", "batch yield"],
+            rows,
+            title="C5: fluidic packaging processes",
+        )
+    )
+    dry = iterations[0]
+    # the paper's three numbers
+    assert days(1.5) < dry.turnaround < days(4.0)  # "two-three days"
+    assert 10_000 <= dry.setup_cost <= 100_000  # "tens of thousands euros"
+    expose_steps = [s for s in processes[0].steps if "expose" in s.name]
+    assert expose_steps[0].consumable_cost <= 10.0  # "few euros" masks
+    # and dry-film beats the comparators on at least setup cost
+    assert all(dry.setup_cost <= other.setup_cost for other in iterations[1:])
+
+
+def test_fluidic_vs_cmos_iteration(benchmark):
+    def build():
+        fluidic = dry_film_iteration()
+        mpw = cmos_mpw_iteration(PAPER_NODE)
+        full = full_mask_set_iteration(PAPER_NODE)
+        return fluidic, mpw, full
+
+    fluidic, mpw, full = benchmark(build)
+    rows = [
+        [it.name, format_eur(it.cost), format_seconds(it.turnaround)]
+        for it in (fluidic, mpw, full)
+    ]
+    rows.append(
+        [
+            "ratio (MPW / dry-film)",
+            f"{cost_ratio(fluidic, mpw):.0f}x",
+            f"{turnaround_ratio(fluidic, mpw):.0f}x",
+        ]
+    )
+    report(
+        ascii_table(
+            ["iteration", "cost", "turnaround"],
+            rows,
+            title="C5b: one prototype iteration, fluidic vs CMOS",
+        )
+    )
+    assert cost_ratio(fluidic, mpw) > 100.0
+    assert turnaround_ratio(fluidic, mpw) > 20.0
+    assert full.cost > mpw.cost

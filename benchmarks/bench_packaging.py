@@ -1,0 +1,72 @@
+"""Experiment F3: the Fig. 3 device cross-section.
+
+"The fluidic microchamber packaging is implemented double bonding the
+ito-coated glass, patterned with dry-resist film, to a CMOS chip."
+
+Regenerates the stack: builds the paper-dimension device, checks the
+chamber holds the 4 ul drop, generates the (one-layer + ports) mask
+layout and verifies it against the dry-film design rules -- including
+the "minimum feature ... order of hundred microns" claim.
+"""
+
+from conftest import report
+
+from repro.analysis import ascii_table, format_si
+from repro.packaging import DesignRules, Rect, paper_device_stack, run_drc
+from repro.physics.constants import to_um
+
+
+def test_fig3_device_stack(benchmark):
+    def build():
+        stack = paper_device_stack()
+        chamber = stack.chamber()
+        layout = stack.layout()
+        problems = stack.validate()
+        return stack, chamber, layout, problems
+
+    stack, chamber, layout, problems = benchmark(build)
+    min_feature = min(
+        layer.min_feature() for layer in layout.layers.values()
+    )
+    report(
+        ascii_table(
+            ["Fig. 3 element", "reproduced value"],
+            [
+                ["CMOS die", f"{stack.die.width * 1e3:.1f} x {stack.die.depth * 1e3:.1f} mm"],
+                ["active array", f"{stack.die.array_width * 1e3:.1f} x {stack.die.array_depth * 1e3:.1f} mm"],
+                ["dry-film wall height", f"{to_um(stack.wall_height):.0f} um"],
+                ["ITO glass lid", f"{stack.lid.width * 1e3:.1f} x {stack.lid.depth * 1e3:.1f} mm"],
+                ["chamber volume", f"{chamber.volume_ul:.2f} ul (paper: ~4 ul drop)"],
+                ["mask layers", layout.layer_count],
+                ["min drawn feature", format_si(min_feature, "m")],
+                ["stack validation", "clean" if not problems else "; ".join(problems)],
+            ],
+            title="F3: Fig. 3 hybrid device stack",
+        )
+    )
+    assert not problems
+    assert 3.0 < chamber.volume_ul < 5.0
+    assert layout.layer_count <= 2  # "one or two layers"
+    assert min_feature >= 100e-6  # "order of hundred microns"
+
+
+def test_layout_drc(benchmark):
+    stack = paper_device_stack()
+    rules = DesignRules(
+        min_feature=100e-6,
+        min_gap=100e-6,
+        substrate=Rect(0, 0, stack.die.width, stack.die.depth),
+    )
+    layout = stack.layout()
+    result = benchmark(run_drc, layout, rules)
+    report(
+        ascii_table(
+            ["check", "result"],
+            [
+                ["rectangles checked", layout.total_rect_count()],
+                ["violations", result.count()],
+            ],
+            title="F3b: dry-film DRC on the generated layout",
+        )
+    )
+    assert result.clean

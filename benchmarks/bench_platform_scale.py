@@ -1,0 +1,122 @@
+"""Experiment C4: the platform-scale claims of the paper's Section 1.
+
+">100,000 electrodes ... tens of thousands of DEP cages ... trap cells
+in levitation ... cages can be shifted, dragging along the trapped
+particles [at] 10-100 microns per second."
+
+Regenerates: electrode count, cage capacity, levitation height, max
+drag speed, and a massively parallel shift of the full cage population
+with its electronics/physics time split.
+"""
+
+from conftest import report
+
+from repro.analysis import ascii_table, format_seconds, format_si
+from repro.array import CageManager, RowColumnAddresser, paper_grid, tile_cages
+from repro.bio import polystyrene_bead
+from repro.physics.constants import to_um, um, um_per_s
+from repro.physics.dep import DepCage
+from repro.physics.dielectrics import water_medium
+
+
+def test_platform_scale_numbers(benchmark):
+    grid = paper_grid()
+
+    def build():
+        manager = CageManager(grid, min_separation=2)
+        cage_capacity = manager.max_cage_count()
+        bead_cage = DepCage(
+            pitch=grid.pitch,
+            voltage=3.3,
+            lid_height=um(100),
+            particle=polystyrene_bead(um(5)),
+            medium=water_medium(),
+            frequency=1e6,
+            particle_density=1050.0,
+        )
+        return cage_capacity, bead_cage.levitation_height(), bead_cage.max_drag_speed()
+
+    cage_capacity, levitation, max_speed = benchmark(build)
+    report(
+        ascii_table(
+            ["paper claim", "reproduced value"],
+            [
+                ["'more than 100,000 electrodes'", f"{grid.electrode_count:,}"],
+                ["'tens of thousands of DEP cages'", f"{cage_capacity:,}"],
+                ["'trap cells in levitation'", f"levitates at {to_um(levitation):.1f} um"],
+                ["'10-100 microns per second'", f"max drag {to_um(max_speed):.0f} um/s"],
+                ["drop volume", "4 ul (chamber, see bench_packaging)"],
+            ],
+            title="C4: platform-scale claims",
+        )
+    )
+    assert grid.electrode_count > 100_000
+    assert cage_capacity >= 10_000
+    assert levitation is not None and um(2) < levitation < um(60)
+    assert max_speed >= um_per_s(100.0)  # the claimed range is feasible
+
+
+def test_parallel_population_shift(benchmark):
+    """Shift every cage on the full-size array by one electrode in one
+    frame -- the chip's massively parallel manipulation primitive."""
+    grid = paper_grid()
+    addresser = RowColumnAddresser(grid)
+
+    def shift_once():
+        manager = CageManager(grid, min_separation=2)
+        cages = tile_cages(manager, spacing=2)
+        # keep everyone in bounds: shift away from the far edge
+        moves = {
+            c.cage_id: (0, 1) for c in cages if c.site[1] + 1 < grid.cols
+        }
+        before = manager.frame()
+        manager.step(moves)
+        after = manager.frame()
+        program = addresser.incremental_program_time(before, after)
+        dwell = grid.pitch / um_per_s(50.0)
+        return len(cages), len(moves), program, dwell
+
+    n_cages, n_moved, program, dwell = benchmark(shift_once)
+    report(
+        ascii_table(
+            ["quantity", "value"],
+            [
+                ["cages on array", f"{n_cages:,}"],
+                ["cages moved in one frame", f"{n_moved:,}"],
+                ["electronics (reprogram)", format_seconds(program)],
+                ["physics (drag one pitch)", format_seconds(dwell)],
+                ["electronics fraction", f"{program / (program + dwell):.2e}"],
+            ],
+            title="C4b: one massively parallel cage shift (320x320)",
+        )
+    )
+    assert n_cages >= 25_000
+    assert program < 0.01 * dwell
+
+
+def test_sorting_throughput(benchmark):
+    """Cells sorted per minute when moving cages across half the array
+    in parallel -- the platform's effective throughput scale."""
+    grid = paper_grid()
+
+    def estimate():
+        cage_count = CageManager(grid, min_separation=2).max_cage_count()
+        distance_electrodes = grid.cols // 2
+        step_time = grid.pitch / um_per_s(50.0)
+        sort_time = distance_electrodes * step_time
+        per_minute = cage_count * 60.0 / sort_time
+        return cage_count, sort_time, per_minute
+
+    cage_count, sort_time, per_minute = benchmark(estimate)
+    report(
+        ascii_table(
+            ["quantity", "value"],
+            [
+                ["parallel cages", f"{cage_count:,}"],
+                ["half-array transit", format_seconds(sort_time)],
+                ["throughput", f"{per_minute:,.0f} cells/min"],
+            ],
+            title="C4c: parallel sorting throughput estimate",
+        )
+    )
+    assert per_minute > 10_000.0

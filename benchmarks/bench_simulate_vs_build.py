@@ -1,0 +1,79 @@
+"""Experiment C6: "it is often faster to build and test a prototype
+than to simulate it".
+
+Compares, for one fluidic design question (does the chamber mix/fill/
+behave?), the wall-clock of:
+
+* a meaningful multiphysics simulation campaign under parameter
+  uncertainty (uncertain inputs force a sweep: N_runs grows with the
+  number of unknown parameters), vs
+* building the device (2-3 day dry-film turnaround) and measuring.
+
+Also runs the reduced-order solver to show what simulation *is* still
+good for in the Fig. 2 flow: interpreting measured data in minutes.
+"""
+
+from conftest import report
+
+from repro.analysis import ascii_table, format_seconds
+from repro.designflow import fluidic_fidelity
+from repro.fluidics import DiffusionSolver2D, diffusive_mixing_time
+from repro.packaging import dry_film_iteration
+from repro.physics.constants import days, hours, um
+
+
+def test_simulate_vs_build(benchmark):
+    def build():
+        fidelity = fluidic_fidelity()
+        # Uncertain inputs the paper lists: wettability, cell dielectric
+        # parameters, electro-thermal couplings... a sweep over k
+        # uncertain parameters at 3 levels each needs 3^k campaigns.
+        uncertain_parameters = 4
+        campaigns = 3**uncertain_parameters
+        simulation_time = campaigns * fidelity.run_time
+        prototype = dry_film_iteration()
+        build_time = prototype.turnaround + hours(8.0)  # fab + characterise
+        return simulation_time, build_time, campaigns
+
+    simulation_time, build_time, campaigns = benchmark(build)
+    report(
+        ascii_table(
+            ["approach", "wall-clock"],
+            [
+                [f"simulate ({campaigns} campaigns over 4 unknowns)",
+                 format_seconds(simulation_time)],
+                ["build + test (dry-film)", format_seconds(build_time)],
+                ["ratio", f"{simulation_time / build_time:.1f}x"],
+            ],
+            title="C6: answering one fluidic design question",
+        )
+    )
+    # the paper's claim: building is faster
+    assert build_time < simulation_time
+    assert simulation_time / build_time > 2.0
+
+
+def test_reduced_order_simulation_is_fast(benchmark):
+    """Fig. 2's retained role for simulation: a reduced-order transport
+    solve (to interpret a measured mixing curve) runs in seconds of CPU
+    -- compatible with the build-first loop."""
+    def solve():
+        solver = DiffusionSolver2D(
+            nx=41, ny=41, dx=um(200), diffusivity=5e-10
+        )
+        solver.inject_blob((20, 20), 5, amount=1.0)
+        solver.run(duration=diffusive_mixing_time(um(200) * 10, 5e-10))
+        return solver.mixing_index(), solver.total_mass()
+
+    mixing_index, mass = benchmark(solve)
+    report(
+        ascii_table(
+            ["quantity", "value"],
+            [
+                ["final mixing index", f"{mixing_index:.3f}"],
+                ["mass conserved", f"{mass:.6f}"],
+            ],
+            title="C6b: reduced-order solver (interpretation role, Fig. 2)",
+        )
+    )
+    assert mass == 1.0 or abs(mass - 1.0) < 1e-9

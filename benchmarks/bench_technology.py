@@ -1,0 +1,78 @@
+"""Experiment C1: "older generation technologies may best fit your purpose".
+
+Sweeps the CMOS node library against the paper's application (20-30 um
+cells, 20 um pitch, 10-100 um/s manipulation) and regenerates:
+
+* the DEP-force-vs-node curve (force falls ~V^2 as nodes shrink),
+* the per-node feasibility/cost table,
+* the figure-of-merit ranking, whose winner must be an *older* node.
+"""
+
+from conftest import report
+
+from repro.analysis import ascii_table, fit_power_law, format_eur, format_si
+from repro.physics.constants import um, um_per_s
+from repro.technology import (
+    ApplicationRequirements,
+    STANDARD_NODES,
+    TechnologySelector,
+)
+
+
+def make_selector():
+    return TechnologySelector(
+        ApplicationRequirements(
+            cell_radius=um(10.0),
+            electrode_pitch=um(20.0),
+            target_speed=um_per_s(50.0),
+            array_side=320,
+        )
+    )
+
+
+def test_node_sweep(benchmark):
+    selector = make_selector()
+    evaluations = benchmark(selector.evaluate_all)
+    rows = [
+        [
+            e.node.name,
+            e.node.year,
+            f"{e.drive_voltage:.1f} V",
+            "yes" if e.feasible_pitch else "no",
+            format_si(e.dep_force, "N"),
+            f"{e.speed_margin:.1f}x",
+            format_eur(e.die_cost),
+            f"{e.figure_of_merit:.3f}",
+        ]
+        for e in evaluations
+    ]
+    report(
+        ascii_table(
+            ["node", "year", "drive", "pitch ok", "DEP force", "speed margin",
+             "die cost", "FOM"],
+            rows,
+            title="C1: technology-node sweep at the biology-imposed 20 um pitch",
+        )
+    )
+    best = selector.best()
+    newest = STANDARD_NODES[-1]
+    # the headline shape: an older node wins
+    assert best.node.year <= 2000
+    assert best.node.feature_size > newest.feature_size
+    # and the force curve follows V^2: fit force vs voltage across nodes
+    voltages = [e.drive_voltage for e in evaluations]
+    forces = [e.dep_force for e in evaluations]
+    __, exponent = fit_power_law(voltages, forces)
+    assert abs(exponent - 2.0) < 1e-6
+
+
+def test_newest_node_pays_more_for_less(benchmark):
+    """The two-sided cost of scaling: less drive voltage (less force)
+    AND more euros per die."""
+    selector = make_selector()
+    evaluations = benchmark(selector.evaluate_all)
+    by_name = {e.node.name: e for e in evaluations}
+    old, new = by_name["0.35um"], by_name["90nm"]
+    assert old.dep_force > 2.0 * new.dep_force
+    assert new.die_cost > old.die_cost
+    assert old.figure_of_merit > new.figure_of_merit

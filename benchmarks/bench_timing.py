@@ -1,0 +1,79 @@
+"""Experiment C2: "we have plenty of time (from an electronic point of view)".
+
+Regenerates the timing-budget table: full-array reprogram and sensor
+scan times on the 320x320 chip vs the time a cell needs to cross one
+20 um pitch at 10/50/100 um/s.  The shape: slack ratios from tens to
+hundreds, i.e. the electronics idles while the cells crawl -- the
+paper's opportunity to "trade time of execution for quality".
+"""
+
+from conftest import report
+
+from repro.analysis import ascii_table, format_seconds
+from repro.array import RowColumnAddresser, TimingBudget, paper_grid
+from repro.physics.constants import um_per_s
+
+
+def test_timing_budget(benchmark):
+    grid = paper_grid()
+    addresser = RowColumnAddresser(grid)
+
+    def build_table():
+        rows = []
+        budgets = []
+        for speed_um in (10.0, 50.0, 100.0):
+            budget = TimingBudget(addresser, cell_speed=um_per_s(speed_um))
+            budgets.append(budget)
+            rows.append(
+                [
+                    f"{speed_um:.0f} um/s",
+                    format_seconds(budget.pitch_transit_time()),
+                    format_seconds(addresser.frame_program_time()),
+                    format_seconds(addresser.frame_scan_time()),
+                    f"{budget.slack_ratio():.0f}x",
+                    budget.spare_scans_per_step(),
+                ]
+            )
+        return rows, budgets
+
+    rows, budgets = benchmark(build_table)
+    report(
+        ascii_table(
+            ["cell speed", "pitch transit", "frame program", "frame scan",
+             "slack ratio", "spare scans/step"],
+            rows,
+            title="C2: electronics vs mass-transfer timing (320x320 @ 20 um)",
+        )
+    )
+    # slack is large at every speed in the paper's 10-100 um/s range
+    assert all(b.slack_ratio() > 30.0 for b in budgets)
+    # and at the paper's slow end it exceeds 500x
+    assert budgets[0].slack_ratio() > 500.0
+    # enough spare scans for serious averaging at every speed
+    assert all(b.spare_scans_per_step() >= 20 for b in budgets)
+
+
+def test_incremental_update_widens_slack(benchmark):
+    """Cage motion only rewrites dirty rows: the realistic per-step
+    electronics cost is another ~100x below the full-frame figure."""
+    grid = paper_grid()
+    addresser = RowColumnAddresser(grid)
+    from repro.array import cage_frame
+
+    old = cage_frame(grid, [(100, 100), (200, 200)])
+    new = cage_frame(grid, [(101, 100), (200, 201)])
+
+    incremental = benchmark(addresser.incremental_program_time, old, new)
+    full = addresser.frame_program_time()
+    report(
+        ascii_table(
+            ["update", "time"],
+            [
+                ["full frame (320 rows)", format_seconds(full)],
+                ["incremental (3 dirty rows)", format_seconds(incremental)],
+                ["ratio", f"{full / incremental:.0f}x"],
+            ],
+            title="C2b: incremental vs full-frame reprogramming",
+        )
+    )
+    assert full / incremental > 50.0

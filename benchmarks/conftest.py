@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one paper artifact (figure or quantitative
+claim; see DESIGN.md section 3) and prints the reproduced table/series
+so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction report.  Assertions encode the *shape* each artifact must
+have (who wins, by roughly what factor), per the reproduction contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(text):
+    """Print a reproduction table with a blank line so pytest -s output
+    stays readable; also always echo through capture via sys.stdout."""
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def paper_chip_grid():
+    from repro.array import paper_grid
+
+    return paper_grid()

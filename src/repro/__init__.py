@@ -1,0 +1,59 @@
+"""repro: a CMOS DEP-array lab-on-a-chip simulator and CAD stack.
+
+Reproduction of Manaresi et al., "New Perspectives and Opportunities
+From the Wild West of Microelectronic Biochips" (DATE 2005): the
+platform the paper describes (a >100,000-electrode CMOS chip creating
+tens of thousands of dielectrophoretic cages that trap, move and sense
+individual cells) together with the design-automation stack its thesis
+calls for (protocol compiler, cage router, assay scheduler,
+technology-selection optimizer, fluidic packaging DRC and cost models,
+and a quantitative simulation of the paper's Fig. 1 vs Fig. 2 design
+flows).
+
+Quick start::
+
+    from repro import Biochip, Protocol, Executor
+    from repro.bio import polystyrene_bead
+
+    chip = Biochip.small_chip()
+    protocol = (
+        Protocol("hello-cage")
+        .trap("p", site=(10, 10), particle=polystyrene_bead())
+        .move("p", (30, 30))
+        .sense("p", samples=2000)
+        .release("p")
+    )
+    result = Executor(chip).run(protocol)
+    print(result.summary())
+"""
+
+from .core import (
+    Biochip,
+    BiochipError,
+    CompileError,
+    CompiledProgram,
+    ExecutionError,
+    Executor,
+    Protocol,
+    ProtocolError,
+    RunResult,
+    SenseResult,
+    compile_protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Biochip",
+    "BiochipError",
+    "CompileError",
+    "CompiledProgram",
+    "ExecutionError",
+    "Executor",
+    "Protocol",
+    "ProtocolError",
+    "RunResult",
+    "SenseResult",
+    "compile_protocol",
+    "__version__",
+]

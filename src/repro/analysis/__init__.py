@@ -1,0 +1,12 @@
+"""Reporting and statistics helpers used by benchmarks, examples, tests."""
+
+from .stats import (
+    bootstrap_ci,
+    fit_power_law,
+    geometric_mean,
+    relative_error,
+    summarize,
+)
+from .tables import ascii_table, format_eur, format_seconds, format_si, series_table
+
+__all__ = [name for name in dir() if not name.startswith("_")]

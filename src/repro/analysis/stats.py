@@ -1,0 +1,70 @@
+"""Small statistics helpers shared by benchmarks and tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def summarize(values):
+    """Dict of basic summary statistics for a sequence of numbers."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("no values to summarise")
+    return {
+        "n": int(data.size),
+        "mean": float(data.mean()),
+        "std": float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        "min": float(data.min()),
+        "median": float(np.median(data)),
+        "max": float(data.max()),
+    }
+
+
+def bootstrap_ci(values, statistic=np.mean, n_boot=1000, alpha=0.05, seed=0):
+    """Percentile bootstrap confidence interval (lo, hi)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("no values")
+    rng = np.random.default_rng(seed)
+    stats = np.empty(n_boot)
+    for i in range(n_boot):
+        stats[i] = statistic(rng.choice(data, size=data.size, replace=True))
+    return (
+        float(np.quantile(stats, alpha / 2.0)),
+        float(np.quantile(stats, 1.0 - alpha / 2.0)),
+    )
+
+
+def geometric_mean(values):
+    """Geometric mean of positive values (the right mean for speedups)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("no values")
+    if np.any(data <= 0.0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(data))))
+
+
+def fit_power_law(x, y):
+    """Least-squares fit y = a * x^b in log space; returns (a, b).
+
+    Used to verify scaling laws empirically (e.g. the sqrt(N) averaging
+    exponent b ~ -0.5, or the force-voltage exponent b ~ 2).
+    """
+    x = np.asarray(list(x), dtype=float)
+    y = np.asarray(list(y), dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need >= 2 matching points")
+    if np.any(x <= 0.0) or np.any(y <= 0.0):
+        raise ValueError("power-law fit requires positive data")
+    b, log_a = np.polyfit(np.log(x), np.log(y), 1)
+    return float(math.exp(log_a)), float(b)
+
+
+def relative_error(measured, expected):
+    """|measured - expected| / |expected|."""
+    if expected == 0.0:
+        raise ValueError("expected value is zero")
+    return abs(measured - expected) / abs(expected)

@@ -1,0 +1,98 @@
+"""ASCII table rendering and unit formatting for bench/example output.
+
+Every benchmark prints its reproduction of a paper artifact as a table;
+this module keeps that output consistent and readable without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def format_si(value, unit="", digits=3):
+    """Format a number with an SI prefix: 2.3e-5 -> '23 u...'."""
+    if value is None:
+        return "n/a"
+    if value == 0.0:
+        return f"0 {unit}".strip()
+    if math.isinf(value):
+        return f"inf {unit}".strip()
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"),
+        (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"),
+        (1e-12, "p"), (1e-15, "f"), (1e-18, "a"),
+    ]
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+
+
+def format_seconds(seconds, digits=3):
+    """Human duration: seconds -> 'us/ms/s/min/h/d' as appropriate."""
+    if seconds is None:
+        return "n/a"
+    if seconds == 0.0:
+        return "0 s"
+    if math.isinf(seconds):
+        return "inf"
+    magnitude = abs(seconds)
+    if magnitude < 1e-3:
+        return f"{seconds * 1e6:.{digits}g} us"
+    if magnitude < 1.0:
+        return f"{seconds * 1e3:.{digits}g} ms"
+    if magnitude < 120.0:
+        return f"{seconds:.{digits}g} s"
+    if magnitude < 2.0 * 3600.0:
+        return f"{seconds / 60.0:.{digits}g} min"
+    if magnitude < 2.0 * 86400.0:
+        return f"{seconds / 3600.0:.{digits}g} h"
+    return f"{seconds / 86400.0:.{digits}g} d"
+
+
+def format_eur(value, digits=3):
+    """Money with thousands grouping: 40000 -> 'EUR 40,000'."""
+    if value is None:
+        return "n/a"
+    if abs(value) >= 100.0:
+        return f"EUR {value:,.0f}"
+    return f"EUR {value:.{digits}g}"
+
+
+def ascii_table(headers, rows, title=None):
+    """Render a list of rows as a boxed, column-aligned ASCII table.
+
+    ``rows`` entries may contain any objects; they are str()-ed.
+    Returns the table as a string (callers print it).
+    """
+    headers = [str(h) for h in headers]
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def line(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([sep, line(headers), sep])
+    parts.extend(line(row) for row in rendered)
+    parts.append(sep)
+    return "\n".join(parts)
+
+
+def series_table(x_label, y_labels, points, title=None):
+    """Table for a figure-like series: one x column plus y columns.
+
+    ``points`` is an iterable of (x, y1, y2, ...) tuples.
+    """
+    return ascii_table([x_label, *y_labels], points, title=title)

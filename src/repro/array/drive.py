@@ -1,0 +1,153 @@
+"""Drive electronics: phase generation and array power budget.
+
+The in-pixel memories select among a small set of globally distributed
+sinusoidal phases; something must generate those phases and pay the
+dynamic power of swinging 100,000 electrode capacitances.  This module
+models that drive subsystem:
+
+* :class:`PhaseGenerator` -- the two-phase (0/180 deg) sine source:
+  frequency, amplitude, slew requirements.
+* :class:`ArrayDrivePower` -- the C V^2 f dynamic power of the
+  electrode array plus the digital interface, feeding
+  :class:`repro.physics.thermal.ChipThermalModel` so the biocompat
+  check closes over the *whole* chip, not just the buffer dissipation.
+
+The punchline is another instance of the paper's theme: at cell-scale
+frequencies (sub-MHz) and 100 fF-class electrodes, the whole >100k
+array costs milliwatts -- biochips do not need (or want) power-hungry
+electronics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .grid import ElectrodeGrid
+
+
+@dataclass(frozen=True)
+class PhaseGenerator:
+    """The global sinusoidal phase source.
+
+    Parameters
+    ----------
+    frequency:
+        Drive frequency [Hz].
+    amplitude:
+        Drive amplitude [V] (zero-to-peak of each phase).
+    n_phases:
+        Number of distributed phases (2 for the 0/180 scheme).
+    """
+
+    frequency: float
+    amplitude: float
+    n_phases: int = 2
+
+    def __post_init__(self):
+        if self.frequency <= 0.0 or self.amplitude <= 0.0:
+            raise ValueError("frequency and amplitude must be positive")
+        if self.n_phases < 2:
+            raise ValueError("need at least two phases for a cage pattern")
+
+    @property
+    def period(self) -> float:
+        """One drive period [s]."""
+        return 1.0 / self.frequency
+
+    def max_slew_rate(self) -> float:
+        """Peak dV/dt of the sinusoid [V/s]: 2 pi f A."""
+        return 2.0 * math.pi * self.frequency * self.amplitude
+
+    def value(self, time, phase_index=0):
+        """Instantaneous phase voltage [V] at ``time`` [s]."""
+        if not 0 <= phase_index < self.n_phases:
+            raise ValueError(f"phase index {phase_index} out of range")
+        offset = 2.0 * math.pi * phase_index / self.n_phases
+        return self.amplitude * math.sin(
+            2.0 * math.pi * self.frequency * time + offset
+        )
+
+    def rms(self) -> float:
+        """RMS amplitude [V]."""
+        return self.amplitude / math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class ArrayDrivePower:
+    """Dynamic power budget of driving the electrode array.
+
+    Parameters
+    ----------
+    grid:
+        Array geometry.
+    generator:
+        The phase source.
+    electrode_capacitance:
+        Load per electrode [F]: electrode-to-liquid plus routing
+        parasitics; ~100-300 fF for a 20 um pixel under a thin chamber.
+    switching_fraction:
+        Fraction of electrodes that toggle phase per reprogram (cage
+        motion touches few; a full pattern rewrite touches many).
+    reprogram_rate:
+        Array reprogram operations per second.
+    interface_power:
+        Static+dynamic power of the digital interface [W].
+    """
+
+    grid: ElectrodeGrid
+    generator: PhaseGenerator
+    electrode_capacitance: float = 200e-15
+    switching_fraction: float = 0.01
+    reprogram_rate: float = 10.0
+    interface_power: float = 1e-3
+
+    def __post_init__(self):
+        if self.electrode_capacitance <= 0.0:
+            raise ValueError("electrode capacitance must be positive")
+        if not 0.0 <= self.switching_fraction <= 1.0:
+            raise ValueError("switching fraction must be in [0, 1]")
+
+    def ac_drive_power(self) -> float:
+        """Continuous AC dissipation of all driven electrodes [W].
+
+        Each electrode swings the sinusoid across its capacitance; the
+        resistive part of the charging path dissipates ~ C V_rms^2 f per
+        electrode per cycle (upper bound with loss factor 1).
+        """
+        per_electrode = (
+            self.electrode_capacitance
+            * self.generator.rms() ** 2
+            * self.generator.frequency
+        )
+        return per_electrode * self.grid.electrode_count
+
+    def reprogram_power(self) -> float:
+        """Average power of phase-pattern updates [W].
+
+        Switching an electrode between phases costs ~ C (2A)^2 of
+        charge-transfer energy; only the dirty fraction toggles.
+        """
+        energy_per_toggle = self.electrode_capacitance * (
+            2.0 * self.generator.amplitude
+        ) ** 2
+        toggles_per_second = (
+            self.switching_fraction
+            * self.grid.electrode_count
+            * self.reprogram_rate
+        )
+        return energy_per_toggle * toggles_per_second
+
+    def total_power(self) -> float:
+        """Total drive-subsystem power [W]."""
+        return self.ac_drive_power() + self.reprogram_power() + self.interface_power
+
+    def thermal_model(self, buffer_power=0.0, thermal_resistance=40.0):
+        """Build the whole-chip thermal model with this drive budget."""
+        from ..physics.thermal import ChipThermalModel
+
+        return ChipThermalModel(
+            electronics_power=self.total_power(),
+            buffer_power=buffer_power,
+            thermal_resistance=thermal_resistance,
+        )

@@ -1,0 +1,190 @@
+"""Voltage phase patterns: the programmable state of the actuation array.
+
+Each electrode is driven by one of a small set of sinusoidal phases
+selected by an in-pixel memory (the paper's chip embeds a latch under
+every electrode).  A full-array assignment of phases is an
+:class:`ArrayFrame` -- the unit the addressing logic writes, the unit
+the cage manager produces, and the unit the physics layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from ..physics.fields import ArrayFieldModel, ElectrodePatch
+from .grid import ElectrodeGrid
+
+
+class Phase(IntEnum):
+    """Per-electrode drive phase.
+
+    The values are chosen so that the array of phases doubles as an
+    array of signed drive multipliers: +1 (in phase), -1 (counter
+    phase), 0 (grounded / floating to ground).
+    """
+
+    GROUND = 0
+    IN_PHASE = 1
+    COUNTER = -1
+
+    @property
+    def multiplier(self) -> int:
+        """Signed multiplier applied to the drive amplitude."""
+        return int(self)
+
+
+@dataclass
+class ArrayFrame:
+    """One full-array phase assignment.
+
+    Parameters
+    ----------
+    grid:
+        The :class:`~repro.array.grid.ElectrodeGrid` geometry.
+    phases:
+        int8 ndarray of shape (rows, cols) holding :class:`Phase` values.
+        Defaults to all-:attr:`Phase.GROUND`.
+    """
+
+    grid: ElectrodeGrid
+    phases: np.ndarray = None
+
+    def __post_init__(self):
+        if self.phases is None:
+            self.phases = np.zeros((self.grid.rows, self.grid.cols), dtype=np.int8)
+        else:
+            self.phases = np.asarray(self.phases, dtype=np.int8)
+            if self.phases.shape != (self.grid.rows, self.grid.cols):
+                raise ValueError(
+                    f"phase array shape {self.phases.shape} does not match grid "
+                    f"({self.grid.rows}, {self.grid.cols})"
+                )
+            valid = np.isin(self.phases, [p.value for p in Phase])
+            if not np.all(valid):
+                raise ValueError("phase array contains values outside the Phase enum")
+
+    def copy(self) -> "ArrayFrame":
+        """Deep copy of this frame."""
+        return ArrayFrame(self.grid, self.phases.copy())
+
+    def set_phase(self, row, col, phase):
+        """Set one electrode's phase."""
+        if not self.grid.in_bounds(row, col):
+            raise IndexError(f"electrode ({row}, {col}) out of bounds")
+        self.phases[row, col] = Phase(phase).value
+
+    def get_phase(self, row, col) -> Phase:
+        """Read one electrode's phase."""
+        if not self.grid.in_bounds(row, col):
+            raise IndexError(f"electrode ({row}, {col}) out of bounds")
+        return Phase(int(self.phases[row, col]))
+
+    def fill(self, phase):
+        """Set every electrode to the same phase."""
+        self.phases[:, :] = Phase(phase).value
+
+    def counter_phase_sites(self):
+        """Sorted list of (row, col) electrodes driven in counter phase.
+
+        With the standard cage encoding these are exactly the cage
+        centres.
+        """
+        rows, cols = np.nonzero(self.phases == Phase.COUNTER.value)
+        return sorted(zip(rows.tolist(), cols.tolist()))
+
+    def diff_count(self, other) -> int:
+        """Number of electrodes whose phase differs from ``other``.
+
+        The addressing layer uses this to cost incremental updates.
+        """
+        if other.grid != self.grid:
+            raise ValueError("frames belong to different grids")
+        return int(np.count_nonzero(self.phases != other.phases))
+
+    def dirty_rows(self, other):
+        """Sorted row indices containing at least one changed electrode."""
+        if other.grid != self.grid:
+            raise ValueError("frames belong to different grids")
+        changed = np.any(self.phases != other.phases, axis=1)
+        return np.nonzero(changed)[0].tolist()
+
+    def field_model(
+        self, voltage, lid_height, region=None, reflections=2
+    ) -> ArrayFieldModel:
+        """Build the physics field model for this frame.
+
+        Parameters
+        ----------
+        voltage:
+            Drive amplitude [V]; electrode amplitude is
+            ``phase.multiplier * voltage``.
+        lid_height:
+            Grounded-lid height [m].
+        region:
+            Optional (r0, r1, c0, c1) inclusive index window restricting
+            which electrodes are instantiated as patches -- fields are
+            local (they decay over ~a pitch), so per-cage physics only
+            needs a small window and stays fast even on a 320 x 320 array.
+        reflections:
+            Image reflections for the lid boundary condition.
+        """
+        pitch = self.grid.pitch
+        if region is None:
+            r0, r1, c0, c1 = 0, self.grid.rows - 1, 0, self.grid.cols - 1
+        else:
+            r0, r1, c0, c1 = region
+        patches = []
+        for row in range(r0, r1 + 1):
+            for col in range(c0, c1 + 1):
+                multiplier = int(self.phases[row, col])
+                if multiplier == 0:
+                    continue
+                x0 = col * pitch
+                y0 = row * pitch
+                patches.append(
+                    ElectrodePatch(
+                        x0, x0 + pitch, y0, y0 + pitch, multiplier * voltage
+                    )
+                )
+        return ArrayFieldModel(
+            patches=patches, lid_height=lid_height, reflections=reflections
+        )
+
+    def to_ascii(self, region=None) -> str:
+        """ASCII rendering ('+', '-', '.') for debugging and examples."""
+        symbols = {Phase.IN_PHASE.value: "+", Phase.COUNTER.value: "-", Phase.GROUND.value: "."}
+        if region is None:
+            r0, r1, c0, c1 = 0, self.grid.rows - 1, 0, self.grid.cols - 1
+        else:
+            r0, r1, c0, c1 = region
+        lines = []
+        for row in range(r0, r1 + 1):
+            lines.append(
+                "".join(symbols[int(v)] for v in self.phases[row, c0 : c1 + 1])
+            )
+        return "\n".join(lines)
+
+
+def uniform_frame(grid, phase=Phase.IN_PHASE) -> ArrayFrame:
+    """Frame with every electrode at the same phase."""
+    frame = ArrayFrame(grid)
+    frame.fill(phase)
+    return frame
+
+
+def cage_frame(grid, cage_sites, background=Phase.IN_PHASE) -> ArrayFrame:
+    """Frame encoding nDEP cages at the given (row, col) sites.
+
+    Background electrodes are driven in phase; each cage centre is
+    driven in counter phase, creating a closed field minimum above it
+    (see :mod:`repro.physics.fields`).
+    """
+    frame = uniform_frame(grid, background)
+    for row, col in cage_sites:
+        if not grid.in_bounds(row, col):
+            raise IndexError(f"cage site ({row}, {col}) out of bounds")
+        frame.phases[row, col] = Phase.COUNTER.value
+    return frame

@@ -1,0 +1,22 @@
+"""Bioparticles: dielectric cell models, beads, and sample populations."""
+
+from .particles import (
+    PARTICLE_FACTORIES,
+    Particle,
+    bacterium,
+    erythrocyte,
+    make_particle,
+    mammalian_cell,
+    polystyrene_bead,
+    tumor_cell,
+    yeast_cell,
+)
+from .populations import (
+    DrawnParticle,
+    PopulationSpec,
+    Sample,
+    cells_per_ml,
+    rare_cell_sample,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,238 @@
+"""Bioparticle models: cells and beads with dielectric shell structure.
+
+The paper's platform manipulates *cells* (20-30 um mammalian cells, and
+in the group's earlier work yeast and bacteria) and detects them with
+per-electrode sensors.  A particle here is a physical object combining:
+
+* geometry (radius) and mass density -- for drag, sedimentation,
+  levitation;
+* a dielectric model (homogeneous or shell) -- for the DEP response;
+* optical opacity -- for the optical sensor model.
+
+The library ships the standard textbook parameterisations; all values
+can be overridden.  Live and dead cells differ dielectrically because
+death permeabilises the membrane (shell conductivity jumps by orders of
+magnitude), which is what makes live/dead DEP sorting work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..physics.constants import um
+from ..physics.dielectrics import Dielectric, ShellModel, clausius_mossotti
+
+
+@dataclass(frozen=True)
+class Particle:
+    """A spherical bioparticle suspended in the chamber.
+
+    Parameters
+    ----------
+    name:
+        Human-readable type label ("viable yeast", "polystyrene bead"...).
+    dielectric:
+        Object with ``complex_permittivity(omega)`` -- a
+        :class:`~repro.physics.dielectrics.Dielectric` or
+        :class:`~repro.physics.dielectrics.ShellModel`.
+    radius:
+        Hydrodynamic radius [m].
+    density:
+        Mass density [kg/m^3].
+    opacity:
+        Fraction of incident light blocked when the particle sits over a
+        photodiode (0 = transparent, 1 = opaque); drives the optical
+        sensor contrast.
+    viable:
+        Biological viability flag (None for non-cells).
+    """
+
+    name: str
+    dielectric: object
+    radius: float
+    density: float = 1070.0
+    opacity: float = 0.5
+    viable: bool | None = None
+
+    def __post_init__(self):
+        if self.radius <= 0.0:
+            raise ValueError("radius must be positive")
+        if self.density <= 0.0:
+            raise ValueError("density must be positive")
+        if not 0.0 <= self.opacity <= 1.0:
+            raise ValueError("opacity must be within [0, 1]")
+
+    def complex_permittivity(self, omega):
+        """Forward to the dielectric model (duck-types as a Dielectric)."""
+        return self.dielectric.complex_permittivity(omega)
+
+    @property
+    def volume(self) -> float:
+        """Particle volume [m^3]."""
+        return 4.0 / 3.0 * math.pi * self.radius**3
+
+    @property
+    def diameter(self) -> float:
+        return 2.0 * self.radius
+
+    def real_cm(self, medium, frequency_hz):
+        """Re[K] of this particle in ``medium`` at ``frequency_hz``."""
+        omega = 2.0 * math.pi * np.asarray(frequency_hz, dtype=float)
+        return np.real(clausius_mossotti(self, medium, omega))
+
+    def with_radius(self, radius):
+        """Copy of this particle with a different radius.
+
+        Note the dielectric shell geometry (if any) is kept; use the
+        factory functions for a fully rescaled cell.
+        """
+        return replace(self, radius=radius)
+
+
+# ---------------------------------------------------------------------------
+# Factory functions for the standard particle types.
+# ---------------------------------------------------------------------------
+
+
+def polystyrene_bead(radius=um(5.0)):
+    """Polystyrene calibration microsphere.
+
+    Polystyrene (eps_r = 2.55) is far less polarisable than water, so
+    beads show strong negative DEP at all frequencies in aqueous media:
+    they are the standard test particle for nDEP cages.
+    """
+    dielectric = Dielectric(2.55, 2e-4, name="polystyrene")
+    return Particle(
+        name="polystyrene bead",
+        dielectric=dielectric,
+        radius=radius,
+        density=1050.0,
+        opacity=0.35,
+        viable=None,
+    )
+
+
+def _cell_shell_model(radius, membrane_thickness, cytoplasm, membrane):
+    inner = radius - membrane_thickness
+    return ShellModel(
+        interior=cytoplasm,
+        shell=membrane,
+        inner_radius=inner,
+        outer_radius=radius,
+    )
+
+
+def mammalian_cell(radius=um(10.0), viable=True):
+    """Generic mammalian cell (lymphocyte/K562-class), 20 um diameter.
+
+    Viable: intact low-conductivity membrane over conductive cytoplasm.
+    Non-viable: permeabilised membrane (conductivity up ~1e4x) -- the
+    dielectric signature of cell death.
+    """
+    cytoplasm = Dielectric(60.0, 0.5, name="cytoplasm")
+    if viable:
+        membrane = Dielectric(6.0, 1e-7, name="membrane")
+    else:
+        membrane = Dielectric(6.0, 1e-3, name="permeabilised membrane")
+    model = _cell_shell_model(radius, um(0.007), cytoplasm, membrane)
+    return Particle(
+        name=f"{'viable' if viable else 'non-viable'} mammalian cell",
+        dielectric=model,
+        radius=radius,
+        density=1070.0,
+        opacity=0.55,
+        viable=viable,
+    )
+
+
+def yeast_cell(radius=um(3.0), viable=True):
+    """Saccharomyces cerevisiae cell, ~6 um diameter."""
+    cytoplasm = Dielectric(50.0, 0.3, name="yeast cytoplasm")
+    if viable:
+        wall = Dielectric(60.0, 1.4e-2, name="cell wall + membrane")
+        conductivity_scale = 1.0
+    else:
+        wall = Dielectric(60.0, 1.5e-3, name="heat-killed wall")
+        cytoplasm = Dielectric(50.0, 7e-3, name="leaked cytoplasm")
+        conductivity_scale = 1.0
+    del conductivity_scale
+    model = _cell_shell_model(radius, um(0.25), cytoplasm, wall)
+    return Particle(
+        name=f"{'viable' if viable else 'non-viable'} yeast",
+        dielectric=model,
+        radius=radius,
+        density=1100.0,
+        opacity=0.45,
+        viable=viable,
+    )
+
+
+def bacterium(radius=um(0.75)):
+    """Generic rod->sphere-equivalent bacterium (E. coli class)."""
+    cytoplasm = Dielectric(55.0, 0.25, name="bacterial cytoplasm")
+    envelope = Dielectric(60.0, 5e-3, name="envelope")
+    model = _cell_shell_model(radius, um(0.03), cytoplasm, envelope)
+    return Particle(
+        name="bacterium",
+        dielectric=model,
+        radius=radius,
+        density=1100.0,
+        opacity=0.2,
+        viable=True,
+    )
+
+
+def erythrocyte(radius=um(3.3)):
+    """Red blood cell (sphere-equivalent radius)."""
+    cytoplasm = Dielectric(59.0, 0.52, name="haemoglobin solution")
+    membrane = Dielectric(4.4, 1e-6, name="RBC membrane")
+    model = _cell_shell_model(radius, um(0.0045), cytoplasm, membrane)
+    return Particle(
+        name="erythrocyte",
+        dielectric=model,
+        radius=radius,
+        density=1100.0,
+        opacity=0.6,
+        viable=True,
+    )
+
+
+def tumor_cell(radius=um(12.0)):
+    """Large epithelial tumour cell (CTC-class) -- bigger and dielectrically
+    distinct from leukocytes, the basis of rare-cell isolation assays."""
+    cytoplasm = Dielectric(75.0, 0.65, name="tumour cytoplasm")
+    membrane = Dielectric(9.0, 1e-7, name="tumour membrane (high folding)")
+    model = _cell_shell_model(radius, um(0.008), cytoplasm, membrane)
+    return Particle(
+        name="tumor cell",
+        dielectric=model,
+        radius=radius,
+        density=1060.0,
+        opacity=0.65,
+        viable=True,
+    )
+
+
+#: Registry of the built-in particle factories by short name.
+PARTICLE_FACTORIES = {
+    "bead": polystyrene_bead,
+    "mammalian": mammalian_cell,
+    "yeast": yeast_cell,
+    "bacterium": bacterium,
+    "erythrocyte": erythrocyte,
+    "tumor": tumor_cell,
+}
+
+
+def make_particle(kind, **kwargs):
+    """Create a built-in particle by short name (see PARTICLE_FACTORIES)."""
+    try:
+        factory = PARTICLE_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown particle kind {kind!r}; known: {sorted(PARTICLE_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,173 @@
+"""Particle populations and samples: what actually lands in the 4 ul drop.
+
+A :class:`Sample` is a droplet volume plus a mixture of particle types
+at given concentrations; :meth:`Sample.draw` instantiates the individual
+particles (with biological size scatter) and places them in the chamber
+volume.  This is the synthetic stand-in for the paper's real cell
+suspensions, and the workload source for the manipulation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..physics.constants import ul
+from .particles import Particle
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """One particle type at a concentration.
+
+    Parameters
+    ----------
+    particle:
+        Prototype :class:`~repro.bio.particles.Particle`.
+    concentration:
+        Number concentration [particles/m^3].  (1e6 cells/ml = 1e12/m^3.)
+    size_cv:
+        Coefficient of variation of the radius (biological scatter);
+        radii are drawn lognormally around the prototype radius.
+    """
+
+    particle: Particle
+    concentration: float
+    size_cv: float = 0.08
+
+    def __post_init__(self):
+        if self.concentration < 0.0:
+            raise ValueError("concentration must be non-negative")
+        if not 0.0 <= self.size_cv < 1.0:
+            raise ValueError("size_cv must be in [0, 1)")
+
+
+def cells_per_ml(count):
+    """Convert cells/ml to SI number concentration [1/m^3]."""
+    return count * 1e6
+
+
+@dataclass
+class DrawnParticle:
+    """A concrete particle instance placed in the chamber."""
+
+    particle: Particle
+    position: np.ndarray  # (3,) [m]
+    index: int = 0
+
+    @property
+    def name(self):
+        return self.particle.name
+
+
+@dataclass
+class Sample:
+    """A liquid sample drop containing particle populations.
+
+    Parameters
+    ----------
+    volume:
+        Sample volume [m^3]; the paper's chip runs a ~4 ul drop.
+    populations:
+        List of :class:`PopulationSpec`.
+    """
+
+    volume: float = ul(4.0)
+    populations: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.volume <= 0.0:
+            raise ValueError("sample volume must be positive")
+
+    def add(self, particle, concentration, size_cv=0.08):
+        """Add a population (returns self for chaining)."""
+        self.populations.append(PopulationSpec(particle, concentration, size_cv))
+        return self
+
+    def expected_counts(self):
+        """Expected particle count per population (ordered as added)."""
+        return [spec.concentration * self.volume for spec in self.populations]
+
+    def expected_total(self):
+        """Total expected particle count in the drop."""
+        return sum(self.expected_counts())
+
+    def draw(self, extent, height, rng=None, poisson=True):
+        """Instantiate the particles inside a chamber footprint.
+
+        Parameters
+        ----------
+        extent:
+            (width, depth) of the chamber footprint [m] over which
+            particles are scattered uniformly.
+        height:
+            Chamber height [m]; initial z is uniform in (radius, height).
+        rng:
+            numpy Generator; seeded default for determinism.
+        poisson:
+            Draw actual counts from a Poisson law (True, physical) or
+            use the rounded expectation (False, deterministic counts).
+
+        Returns
+        -------
+        list[DrawnParticle]
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        width, depth = extent
+        if width <= 0 or depth <= 0 or height <= 0:
+            raise ValueError("chamber dimensions must be positive")
+        drawn = []
+        index = 0
+        for spec in self.populations:
+            expected = spec.concentration * self.volume
+            count = int(rng.poisson(expected)) if poisson else int(round(expected))
+            for _ in range(count):
+                radius = spec.particle.radius
+                if spec.size_cv > 0.0:
+                    sigma = math.sqrt(math.log(1.0 + spec.size_cv**2))
+                    mu = math.log(radius) - 0.5 * sigma**2
+                    radius = float(rng.lognormal(mu, sigma))
+                particle = replace(spec.particle, radius=radius)
+                z_min = min(radius, height / 2.0)
+                position = np.array(
+                    [
+                        rng.uniform(0.0, width),
+                        rng.uniform(0.0, depth),
+                        rng.uniform(z_min, max(height - radius, z_min * 1.001)),
+                    ]
+                )
+                drawn.append(DrawnParticle(particle, position, index))
+                index += 1
+        return drawn
+
+    def composition(self):
+        """Mapping of particle name -> expected fraction of the total."""
+        total = self.expected_total()
+        if total == 0.0:
+            return {}
+        fractions = {}
+        for spec, count in zip(self.populations, self.expected_counts()):
+            fractions[spec.particle.name] = fractions.get(spec.particle.name, 0.0) + (
+                count / total
+            )
+        return fractions
+
+
+def rare_cell_sample(
+    background_particle,
+    rare_particle,
+    background_per_ml,
+    rare_per_ml,
+    volume=ul(4.0),
+):
+    """A rare-cell assay sample: few targets in a large background.
+
+    The canonical application the paper's platform motivates (e.g.
+    circulating tumour cells among leukocytes).
+    """
+    sample = Sample(volume=volume)
+    sample.add(background_particle, cells_per_ml(background_per_ml))
+    sample.add(rare_particle, cells_per_ml(rare_per_ml))
+    return sample

@@ -1,0 +1,19 @@
+"""Core platform API: Biochip, protocol DSL, compiler, executor, results."""
+
+from .compiler import CompiledProgram, compile_protocol
+from .errors import BiochipError, CompileError, ExecutionError, ProtocolError
+from .executor import Executor
+from .platform import Biochip, SenseResult
+from .protocol import (
+    IncubateCmd,
+    MergeCmd,
+    MoveCmd,
+    Protocol,
+    ReleaseCmd,
+    SenseCmd,
+    TrapCmd,
+    viability_sort_protocol,
+)
+from .results import RunEvent, RunResult
+
+__all__ = [name for name in dir() if not name.startswith("_")]

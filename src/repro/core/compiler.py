@@ -1,0 +1,147 @@
+"""The protocol compiler: protocol -> bound, scheduled assay program.
+
+Lowers a validated :class:`~repro.core.protocol.Protocol` to
+
+1. an :class:`~repro.scheduling.taskgraph.AssayGraph` (one operation per
+   command, dependency edges from handle data flow),
+2. physical durations from the
+   :class:`~repro.scheduling.taskgraph.DurationModel` (move durations
+   from actual site-to-site distances),
+3. a resource-bound :class:`~repro.scheduling.schedulers.Schedule` via
+   the list scheduler.
+
+The result (:class:`CompiledProgram`) carries everything the executor
+needs plus the predicted makespan the run can be checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..scheduling.binder import Binder
+from ..scheduling.schedulers import ListScheduler, Schedule
+from ..scheduling.taskgraph import AssayGraph, DurationModel, Operation, OpType
+from .errors import CompileError
+from .protocol import (
+    IncubateCmd,
+    MergeCmd,
+    MoveCmd,
+    Protocol,
+    ReleaseCmd,
+    SenseCmd,
+    TrapCmd,
+)
+
+
+@dataclass
+class CompiledProgram:
+    """A protocol lowered to a scheduled operation graph."""
+
+    protocol: Protocol
+    graph: AssayGraph
+    schedule: Schedule
+    binder: Binder
+    op_commands: dict = field(default_factory=dict)  # op_id -> command
+
+    @property
+    def makespan(self) -> float:
+        """Predicted assay duration [s]."""
+        return self.schedule.makespan
+
+    def ordered_commands(self):
+        """(start_time, op_id, command) sorted by scheduled start.
+
+        Ties are broken by op insertion order, so handle data flow is
+        preserved for equal starts.
+        """
+        order = {op.op_id: i for i, op in enumerate(self.graph.operations())}
+        entries = sorted(
+            self.schedule.entries, key=lambda e: (e.start, order[e.op_id])
+        )
+        return [(e.start, e.op_id, self.op_commands[e.op_id]) for e in entries]
+
+
+def compile_protocol(protocol, grid, duration_model=None, binder=None) -> CompiledProgram:
+    """Compile ``protocol`` for a chip with the given ``grid``.
+
+    Raises :class:`~repro.core.errors.CompileError` for geometric
+    problems (off-grid sites); protocol-level semantic errors surface
+    from ``protocol.validate()`` as :class:`ProtocolError`.
+    """
+    protocol.validate()
+    duration_model = duration_model or DurationModel(pitch=grid.pitch)
+    binder = binder or Binder()
+    graph = AssayGraph(name=protocol.name)
+    op_commands = {}
+    last_op = {}  # handle -> op_id of its latest operation
+    position = {}  # handle -> current (row, col)
+
+    for index, cmd in enumerate(protocol.commands):
+        op_id = f"{index}:{type(cmd).__name__}"
+        if isinstance(cmd, TrapCmd):
+            _check_site(grid, cmd.site, op_id)
+            operation = Operation(op_id, OpType.TRAP, duration_model.trap())
+            graph.add(operation)
+            position[cmd.handle] = cmd.site
+            last_op[cmd.handle] = op_id
+        elif isinstance(cmd, MoveCmd):
+            _check_site(grid, cmd.goal, op_id)
+            start = position[cmd.handle]
+            distance = max(abs(start[0] - cmd.goal[0]), abs(start[1] - cmd.goal[1]))
+            operation = Operation(
+                op_id,
+                OpType.MOVE,
+                duration_model.move(distance),
+                payload={"distance": distance},
+            )
+            graph.add(operation, after=[last_op[cmd.handle]])
+            position[cmd.handle] = cmd.goal
+            last_op[cmd.handle] = op_id
+        elif isinstance(cmd, MergeCmd):
+            approach = max(
+                abs(position[cmd.keep][0] - position[cmd.absorb][0]),
+                abs(position[cmd.keep][1] - position[cmd.absorb][1]),
+            )
+            operation = Operation(
+                op_id, OpType.MERGE, duration_model.merge(approach)
+            )
+            graph.add(operation, after=[last_op[cmd.keep], last_op[cmd.absorb]])
+            last_op[cmd.keep] = op_id
+            last_op.pop(cmd.absorb)
+        elif isinstance(cmd, SenseCmd):
+            operation = Operation(
+                op_id,
+                OpType.SENSE,
+                duration_model.sense(cmd.samples),
+                payload={"samples": cmd.samples},
+            )
+            graph.add(operation, after=[last_op[cmd.handle]])
+            last_op[cmd.handle] = op_id
+        elif isinstance(cmd, IncubateCmd):
+            operation = Operation(
+                op_id, OpType.INCUBATE, duration_model.incubate(cmd.seconds)
+            )
+            graph.add(operation, after=[last_op[cmd.handle]])
+            last_op[cmd.handle] = op_id
+        elif isinstance(cmd, ReleaseCmd):
+            operation = Operation(op_id, OpType.RELEASE, duration_model.release())
+            graph.add(operation, after=[last_op[cmd.handle]])
+            last_op.pop(cmd.handle)
+        else:  # pragma: no cover - validate() rejects unknown commands
+            raise CompileError(f"unsupported command {cmd!r}")
+        op_commands[op_id] = cmd
+
+    schedule = ListScheduler(binder).schedule(graph)
+    schedule.validate(graph, binder)
+    return CompiledProgram(
+        protocol=protocol,
+        graph=graph,
+        schedule=schedule,
+        binder=binder,
+        op_commands=op_commands,
+    )
+
+
+def _check_site(grid, site, op_id):
+    if not grid.in_bounds(*site):
+        raise CompileError(f"{op_id}: site {site} outside the {grid.rows}x{grid.cols} array")

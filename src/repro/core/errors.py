@@ -1,0 +1,19 @@
+"""Exception hierarchy of the core platform layer."""
+
+from __future__ import annotations
+
+
+class BiochipError(Exception):
+    """Base class for platform-level failures."""
+
+
+class ProtocolError(BiochipError):
+    """Malformed protocol: bad handles, use-after-release, unknown ops."""
+
+
+class CompileError(BiochipError):
+    """Protocol cannot be lowered onto this chip (capacity, geometry)."""
+
+
+class ExecutionError(BiochipError):
+    """Runtime failure while executing a compiled program on the chip."""

@@ -1,0 +1,336 @@
+"""The :class:`Biochip` façade: one object that is the whole instrument.
+
+Wires together the electrode array, the physics engine, the sensing
+chain, the packaging stack and the technology choice into the
+paper's platform: a CMOS chip that traps >10^4 particles in DEP cages,
+moves them at 10-100 um/s, and senses each one electronically.
+Downstream users mostly interact with this class plus the protocol
+layer (:mod:`repro.core.protocol`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..array.addressing import RowColumnAddresser
+from ..array.cages import CageError, CageManager
+from ..array.grid import ElectrodeGrid, paper_grid
+from ..bio.populations import DrawnParticle
+from ..fluidics.chamber import Microchamber, chamber_for_grid
+from ..physics.constants import um
+from ..physics.dep import DepCage
+from ..physics.dielectrics import water_medium
+from ..routing.astar import ObstacleMap, RoutingError, astar_route, path_moves
+from ..sensing.capacitive import CapacitiveSensor
+from ..sensing.readout import CapacitiveReadoutChain
+from ..technology.nodes import PAPER_NODE, TechnologyNode
+from .errors import ExecutionError
+
+
+@dataclass
+class SenseResult:
+    """Outcome of sensing one cage."""
+
+    cage_id: int
+    reading: float  # averaged signal [V], pedestal removed
+    n_samples: int
+    detected: bool
+    expected: bool  # ground truth: was a particle actually caged?
+    duration: float  # sensing time spent [s]
+
+
+@dataclass
+class Biochip:
+    """A simulated CMOS DEP-array lab-on-a-chip.
+
+    Parameters
+    ----------
+    grid:
+        Electrode array geometry.
+    node:
+        CMOS technology node (sets the available drive voltage).
+    drive_voltage:
+        Actuation amplitude [V] (<= node.max_drive_voltage).
+    drive_frequency:
+        Actuation frequency [Hz].
+    medium:
+        Suspension buffer dielectric.
+    chamber:
+        Microchamber above the array (sets lid height).
+    min_separation:
+        Cage spacing rule in electrodes.
+    cage_speed:
+        Achieved manipulation speed [m/s]; the physics layer can verify
+        it against the cage's max drag speed (:meth:`verify_speed`).
+    seed:
+        RNG seed for the sensing noise.
+    """
+
+    grid: ElectrodeGrid = field(default_factory=paper_grid)
+    node: TechnologyNode = PAPER_NODE
+    drive_voltage: float = 3.3
+    drive_frequency: float = 1e6
+    medium: object = field(default_factory=water_medium)
+    chamber: Microchamber = None
+    min_separation: int = 2
+    cage_speed: float = 50e-6
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.drive_voltage <= 0.0:
+            raise ValueError("drive voltage must be positive")
+        if self.drive_voltage > self.node.max_drive_voltage + 1e-9:
+            raise ValueError(
+                f"drive voltage {self.drive_voltage} V exceeds node "
+                f"{self.node.name} capability {self.node.max_drive_voltage} V"
+            )
+        if self.chamber is None:
+            self.chamber = chamber_for_grid(self.grid, height=um(100.0))
+        self.cages = CageManager(self.grid, self.min_separation)
+        self.addresser = RowColumnAddresser(self.grid)
+        self.rng = np.random.default_rng(self.seed)
+        sensor = CapacitiveSensor(
+            pixel_pitch=self.grid.pitch,
+            chamber_height=self.chamber.height,
+            medium=self.medium,
+        )
+        self.readout = CapacitiveReadoutChain(sensor=sensor, rng=self.rng)
+        self.elapsed = 0.0
+        self._history = []
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def paper_chip(cls, seed=0) -> "Biochip":
+        """The published device: 320x320 @ 20 um, 0.35 um CMOS, 3.3 V."""
+        return cls(seed=seed)
+
+    @classmethod
+    def small_chip(cls, rows=48, cols=48, seed=0) -> "Biochip":
+        """A scaled-down chip for fast tests and examples."""
+        grid = ElectrodeGrid(rows=rows, cols=cols, pitch=um(20.0))
+        return cls(grid=grid, seed=seed)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _log(self, kind, detail, duration):
+        self.elapsed += duration
+        self._history.append((self.elapsed, kind, detail))
+
+    @property
+    def history(self):
+        """Chronological (time, kind, detail) event log."""
+        return list(self._history)
+
+    @property
+    def cage_count(self) -> int:
+        return len(self.cages)
+
+    # -- physics views -----------------------------------------------------
+
+    def dep_cage(self, particle) -> DepCage:
+        """The physics model of one cage holding ``particle``."""
+        return DepCage(
+            pitch=self.grid.pitch,
+            voltage=self.drive_voltage,
+            lid_height=self.chamber.height,
+            particle=particle,
+            medium=self.medium,
+            frequency=self.drive_frequency,
+            particle_density=getattr(particle, "density", 1070.0),
+        )
+
+    def verify_speed(self, particle) -> bool:
+        """Whether the configured cage speed is physically holdable."""
+        return self.dep_cage(particle).max_drag_speed() >= self.cage_speed
+
+    def _levitation_height(self, particle):
+        """Levitation height with a per-particle-type cache.
+
+        The cage field solve is the expensive part of sensing; particles
+        of the same type/size levitate at the same height, so cache on
+        (name, radius, density) -- invalidated implicitly by keying on
+        the drive settings too.
+        """
+        key = (
+            particle.name,
+            round(particle.radius, 9),
+            getattr(particle, "density", 1070.0),
+            self.drive_voltage,
+            self.drive_frequency,
+        )
+        cache = getattr(self, "_levitation_cache", None)
+        if cache is None:
+            cache = self._levitation_cache = {}
+        if key not in cache:
+            cache[key] = self.dep_cage(particle).levitation_height()
+        return cache[key]
+
+    # -- operations ---------------------------------------------------------
+
+    def trap(self, site, particle=None):
+        """Create a cage at ``site`` (optionally pre-loaded); returns cage.
+
+        Physical trapping time: the particle must sediment/drift into
+        the cage, modelled as a fixed settle time.
+        """
+        try:
+            cage = self.cages.create(site, payload=particle)
+        except CageError as exc:
+            raise ExecutionError(str(exc)) from exc
+        self._log("trap", {"cage": cage.cage_id, "site": tuple(site)}, 5.0)
+        return cage
+
+    def load_sample(self, sample, spacing=None, max_particles=None):
+        """Scatter a sample's particles into cages on a lattice.
+
+        Draws the particles, assigns each to the nearest free lattice
+        site (order: draw order), and creates the cages.  Returns the
+        list of created cages.  Raises ExecutionError when the sample
+        overfills the array capacity.
+        """
+        spacing = spacing if spacing is not None else self.min_separation
+        drawn = sample.draw(
+            extent=(self.grid.width, self.grid.height),
+            height=self.chamber.height,
+            rng=self.rng,
+        )
+        if max_particles is not None:
+            drawn = drawn[:max_particles]
+        lattice = [
+            (r, c)
+            for r in range(0, self.grid.rows, spacing)
+            for c in range(0, self.grid.cols, spacing)
+        ]
+        if len(drawn) > len(lattice):
+            raise ExecutionError(
+                f"sample has {len(drawn)} particles, array capacity is {len(lattice)}"
+            )
+        free = [site for site in lattice if self.cages.cage_at(site) is None]
+        created = []
+        for drawn_particle, site in zip(drawn, free):
+            created.append(self.trap(site, drawn_particle.particle))
+        return created
+
+    def move(self, cage_id, goal):
+        """Route one cage to ``goal`` around all other cages.
+
+        Uses A* with the other cages (inflated by the separation rule)
+        as obstacles, then executes the path step by step, accounting
+        electronics (incremental reprogramming) and physical drag time.
+        Returns the path.  Raises ExecutionError when no route exists.
+        """
+        cage = self.cages.cage(cage_id)
+        others = {site for site in self.cages.sites() if site != cage.site}
+        obstacles = ObstacleMap(self.grid, others, separation=self.min_separation)
+        try:
+            path = astar_route(self.grid, cage.site, tuple(goal), obstacles)
+        except RoutingError as exc:
+            raise ExecutionError(str(exc)) from exc
+        previous_frame = self.cages.frame()
+        total_time = 0.0
+        for delta in path_moves(path):
+            self.cages.step({cage_id: delta})
+            frame = self.cages.frame()
+            program = self.addresser.incremental_program_time(previous_frame, frame)
+            dwell = math.hypot(*delta) * self.grid.pitch / self.cage_speed
+            total_time += program + dwell
+            previous_frame = frame
+        self._log(
+            "move",
+            {"cage": cage_id, "from": path[0], "to": path[-1], "steps": len(path) - 1},
+            total_time,
+        )
+        return path
+
+    def merge(self, cage_id_a, cage_id_b):
+        """Bring cage b next to cage a and fuse them.
+
+        Routes b to a separation-adjacent site next to a, then merges.
+        Returns the surviving cage (a).
+        """
+        cage_a = self.cages.cage(cage_id_a)
+        target = self._adjacent_free_site(cage_a.site, exclude=cage_id_b)
+        self.move(cage_id_b, target)
+        try:
+            merged = self.cages.merge(cage_id_a, cage_id_b)
+        except CageError as exc:
+            raise ExecutionError(str(exc)) from exc
+        self._log("merge", {"kept": cage_id_a, "absorbed": cage_id_b}, 2.0)
+        return merged
+
+    def _adjacent_free_site(self, site, exclude=None):
+        """A separation-legal site next to ``site`` for an approach."""
+        row, col = site
+        step = self.min_separation
+        for dr, dc in ((0, step), (0, -step), (step, 0), (-step, 0),
+                       (step, step), (step, -step), (-step, step), (-step, -step)):
+            candidate = (row + dr, col + dc)
+            if not self.grid.in_bounds(*candidate):
+                continue
+            conflicts = self.cages._conflicts(candidate, ignore_id=exclude)
+            occupied_by = self.cages.cage_at(site)
+            conflicts = [
+                c for c in conflicts
+                if occupied_by is None or c != occupied_by.cage_id
+            ]
+            if not conflicts:
+                return candidate
+        raise ExecutionError(f"no free approach site next to {site}")
+
+    def sense(self, cage_id, n_samples=1000) -> SenseResult:
+        """Read the sensor under one cage with N-sample averaging.
+
+        The reading is generated by the full physical chain (transducer
+        contrast for the actual caged particle, at its levitation
+        height, through amplifier noise and ADC quantisation); detection
+        thresholds at 5x the post-averaging noise.
+        """
+        cage = self.cages.cage(cage_id)
+        particle = cage.payload
+        if isinstance(particle, list):
+            particle = particle[0] if particle else None
+        if particle is not None and hasattr(particle, "particle"):
+            particle = particle.particle  # unwrap DrawnParticle
+        height = None
+        if particle is not None:
+            height = self._levitation_height(particle)
+        reading = self.readout.averaged_reading(particle, height, n_samples)
+        noise_after = self.readout.noise_after_averaging(n_samples)
+        threshold = 5.0 * max(
+            noise_after,
+            self.readout.adc.quantisation_noise_rms() / math.sqrt(n_samples),
+        )
+        detected = abs(reading) > threshold
+        duration = n_samples * self.readout.time_per_sample(self.addresser)
+        self._log(
+            "sense",
+            {"cage": cage_id, "reading": reading, "detected": detected},
+            duration,
+        )
+        return SenseResult(
+            cage_id=cage_id,
+            reading=reading,
+            n_samples=n_samples,
+            detected=detected,
+            expected=particle is not None,
+            duration=duration,
+        )
+
+    def incubate(self, seconds):
+        """Advance time with cages held static (reaction/settling)."""
+        if seconds < 0.0:
+            raise ValueError("incubation time must be non-negative")
+        self._log("incubate", {"seconds": seconds}, seconds)
+
+    def release(self, cage_id):
+        """Open a cage, returning its payload to the bulk."""
+        try:
+            cage = self.cages.release(cage_id)
+        except CageError as exc:
+            raise ExecutionError(str(exc)) from exc
+        self._log("release", {"cage": cage_id}, 0.5)
+        return cage

@@ -1,0 +1,195 @@
+"""The protocol DSL: assays as programs over named cage handles.
+
+A :class:`Protocol` is an ordered list of typed commands over string
+handles ("cellA", "bead3").  It is the user-facing layer: biologists
+think in trap/move/merge/sense/release steps, and the compiler lowers
+those to a scheduled, routed, frame-level program for the chip.
+
+Example::
+
+    protocol = (
+        Protocol("pairing")
+        .trap("cell", site=(10, 10), particle=cell)
+        .trap("bead", site=(10, 30), particle=bead)
+        .move("cell", (20, 20))
+        .merge("cell", "bead")
+        .sense("cell", samples=2000)
+        .release("cell")
+    )
+    protocol.validate()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class TrapCmd:
+    handle: str
+    site: tuple
+    particle: object = None
+
+
+@dataclass(frozen=True)
+class MoveCmd:
+    handle: str
+    goal: tuple
+
+
+@dataclass(frozen=True)
+class MergeCmd:
+    keep: str
+    absorb: str
+
+
+@dataclass(frozen=True)
+class SenseCmd:
+    handle: str
+    samples: int = 1000
+    store_as: str | None = None
+
+
+@dataclass(frozen=True)
+class IncubateCmd:
+    handle: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ReleaseCmd:
+    handle: str
+
+
+#: All command types, for isinstance checks.
+COMMAND_TYPES = (TrapCmd, MoveCmd, MergeCmd, SenseCmd, IncubateCmd, ReleaseCmd)
+
+
+@dataclass
+class Protocol:
+    """An ordered assay program over named cage handles."""
+
+    name: str
+    commands: list = field(default_factory=list)
+
+    # -- builder API ---------------------------------------------------------
+
+    def trap(self, handle, site, particle=None) -> "Protocol":
+        """Create a cage named ``handle`` at ``site`` (optionally loaded)."""
+        self.commands.append(TrapCmd(handle, tuple(site), particle))
+        return self
+
+    def move(self, handle, goal) -> "Protocol":
+        """Route the handle's cage to ``goal``."""
+        self.commands.append(MoveCmd(handle, tuple(goal)))
+        return self
+
+    def merge(self, keep, absorb) -> "Protocol":
+        """Fuse ``absorb``'s cage into ``keep``'s; ``absorb`` dies."""
+        self.commands.append(MergeCmd(keep, absorb))
+        return self
+
+    def sense(self, handle, samples=1000, store_as=None) -> "Protocol":
+        """Read the sensor under the handle's cage with averaging."""
+        self.commands.append(SenseCmd(handle, samples, store_as))
+        return self
+
+    def incubate(self, handle, seconds) -> "Protocol":
+        """Hold the handle's cage in place for ``seconds``."""
+        self.commands.append(IncubateCmd(handle, float(seconds)))
+        return self
+
+    def release(self, handle) -> "Protocol":
+        """Open the handle's cage; the handle becomes dead."""
+        self.commands.append(ReleaseCmd(handle))
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self):
+        return len(self.commands)
+
+    def handles(self):
+        """All handles ever defined, in definition order."""
+        seen = []
+        for cmd in self.commands:
+            if isinstance(cmd, TrapCmd) and cmd.handle not in seen:
+                seen.append(cmd.handle)
+        return seen
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> bool:
+        """Static checks: define-before-use, single definition, no
+        use-after-release/merge, positive parameters.
+
+        Raises :class:`~repro.core.errors.ProtocolError` on the first
+        problem; returns True when clean.
+        """
+        live = set()
+        dead = set()
+        for index, cmd in enumerate(self.commands):
+            where = f"command #{index} ({type(cmd).__name__})"
+            if isinstance(cmd, TrapCmd):
+                if cmd.handle in live or cmd.handle in dead:
+                    raise ProtocolError(f"{where}: handle {cmd.handle!r} redefined")
+                live.add(cmd.handle)
+            elif isinstance(cmd, MergeCmd):
+                for handle in (cmd.keep, cmd.absorb):
+                    self._require_live(handle, live, dead, where)
+                if cmd.keep == cmd.absorb:
+                    raise ProtocolError(f"{where}: cannot merge a handle with itself")
+                live.discard(cmd.absorb)
+                dead.add(cmd.absorb)
+            elif isinstance(cmd, ReleaseCmd):
+                self._require_live(cmd.handle, live, dead, where)
+                live.discard(cmd.handle)
+                dead.add(cmd.handle)
+            elif isinstance(cmd, SenseCmd):
+                self._require_live(cmd.handle, live, dead, where)
+                if cmd.samples < 1:
+                    raise ProtocolError(f"{where}: samples must be >= 1")
+            elif isinstance(cmd, IncubateCmd):
+                self._require_live(cmd.handle, live, dead, where)
+                if cmd.seconds < 0.0:
+                    raise ProtocolError(f"{where}: negative incubation")
+            elif isinstance(cmd, MoveCmd):
+                self._require_live(cmd.handle, live, dead, where)
+            else:
+                raise ProtocolError(f"{where}: unknown command type")
+        return True
+
+    @staticmethod
+    def _require_live(handle, live, dead, where):
+        if handle in dead:
+            raise ProtocolError(f"{where}: handle {handle!r} used after release/merge")
+        if handle not in live:
+            raise ProtocolError(f"{where}: handle {handle!r} not defined")
+
+
+def viability_sort_protocol(pairs, left_column, right_column, samples=2000):
+    """Canonical example protocol: sort (handle, particle, site, viable)
+    tuples to the left/right bank by their known class, sensing each.
+
+    Parameters
+    ----------
+    pairs:
+        Iterable of (handle, particle, site, is_left) tuples.
+    left_column, right_column:
+        Target columns for the two classes.
+    """
+    protocol = Protocol("viability-sort")
+    rows = {}
+    for handle, particle, site, is_left in pairs:
+        protocol.trap(handle, site, particle)
+        rows[handle] = (site[0], is_left)
+    for handle, particle, site, is_left in pairs:
+        protocol.sense(handle, samples=samples)
+        target_col = left_column if is_left else right_column
+        protocol.move(handle, (site[0], target_col))
+    for handle, __, __, __ in pairs:
+        protocol.release(handle)
+    protocol.validate()
+    return protocol

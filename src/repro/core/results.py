@@ -1,0 +1,97 @@
+"""Run results: the record an executed protocol leaves behind."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunEvent:
+    """One executed operation."""
+
+    op_id: str
+    kind: str
+    detail: dict
+
+
+@dataclass
+class RunResult:
+    """Everything a protocol run produced.
+
+    Attributes
+    ----------
+    protocol_name:
+        The protocol that ran.
+    predicted_makespan:
+        The compiler's scheduled duration estimate [s].
+    wall_time:
+        The platform's accounted execution time [s] (set by the
+        executor; the simulated chip's clock, not host CPU time).
+    events:
+        Chronological list of :class:`RunEvent`.
+    measurements:
+        Mapping of measurement key -> list of
+        :class:`~repro.core.platform.SenseResult`.
+    """
+
+    protocol_name: str
+    predicted_makespan: float = 0.0
+    wall_time: float = 0.0
+    events: list = field(default_factory=list)
+    measurements: dict = field(default_factory=dict)
+    _finalized: bool = False
+
+    def record(self, op_id, kind, **detail):
+        """Append an event (executor internal)."""
+        self.events.append(RunEvent(op_id=op_id, kind=kind, detail=detail))
+
+    def add_measurement(self, key, sense_result):
+        """Attach a sensing outcome under a measurement key."""
+        self.measurements.setdefault(key, []).append(sense_result)
+
+    def finalize(self):
+        self._finalized = True
+
+    # -- queries -------------------------------------------------------------
+
+    def count(self, kind=None) -> int:
+        """Number of events (optionally of one kind)."""
+        if kind is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def readings(self, key):
+        """List of averaged sensor readings [V] under a key."""
+        return [m.reading for m in self.measurements.get(key, [])]
+
+    def detections(self, key):
+        """List of detection booleans under a key."""
+        return [m.detected for m in self.measurements.get(key, [])]
+
+    def detection_accuracy(self) -> float:
+        """Fraction of all measurements where detected == expected."""
+        total = correct = 0
+        for results in self.measurements.values():
+            for m in results:
+                total += 1
+                correct += int(m.detected == m.expected)
+        return correct / total if total else float("nan")
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph run summary."""
+        kinds = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        kind_text = ", ".join(f"{v} {k}" for k, v in sorted(kinds.items()))
+        lines = [
+            f"protocol {self.protocol_name!r}: {len(self.events)} operations "
+            f"({kind_text})",
+            f"  predicted makespan {self.predicted_makespan:.1f} s, "
+            f"executed wall time {self.wall_time:.1f} s",
+        ]
+        if self.measurements:
+            lines.append(
+                f"  measurements: {sum(len(v) for v in self.measurements.values())} "
+                f"(detection accuracy {self.detection_accuracy():.1%})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Design-flow simulation: Fig. 1 (simulate-first) vs Fig. 2 (build-test)."""
+
+from .compare import (
+    CrossoverPoint,
+    FlowStatistics,
+    compare_flows,
+    crossover_sweep,
+    electronic_scenario,
+    fluidic_scenario,
+    run_flow_monte_carlo,
+)
+from .flows import BuildTestFlow, DesignProblem, FlowOutcome, SimulateFirstFlow
+from .uncertainty import (
+    ModelFidelity,
+    electronic_fidelity,
+    fluidic_fidelity,
+    parameter_sweep_fidelities,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,159 @@
+"""Monte-Carlo comparison of the two design flows (experiments F1, F2).
+
+Runs :class:`~repro.designflow.flows.SimulateFirstFlow` and
+:class:`~repro.designflow.flows.BuildTestFlow` over many seeded project
+realisations and aggregates time/cost/iteration statistics; the
+crossover sweep varies model fidelity and fabrication turnaround to map
+*where* each flow wins -- the quantitative content of the paper's
+Fig. 1 vs Fig. 2 argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .flows import BuildTestFlow, DesignProblem, SimulateFirstFlow
+from .uncertainty import ModelFidelity, electronic_fidelity, fluidic_fidelity
+from ..packaging.costmodel import (
+    PrototypeIteration,
+    cmos_mpw_iteration,
+    dry_film_iteration,
+)
+from ..technology.nodes import PAPER_NODE
+
+
+@dataclass
+class FlowStatistics:
+    """Aggregate outcome of many Monte-Carlo projects for one flow."""
+
+    flow: str
+    runs: int
+    success_rate: float
+    mean_time: float
+    median_time: float
+    mean_cost: float
+    median_cost: float
+    mean_fabrications: float
+    mean_simulations: float
+    mean_revisions: float
+
+    @classmethod
+    def from_outcomes(cls, outcomes):
+        if not outcomes:
+            raise ValueError("no outcomes to aggregate")
+        times = np.array([o.elapsed for o in outcomes])
+        costs = np.array([o.cost for o in outcomes])
+        return cls(
+            flow=outcomes[0].flow,
+            runs=len(outcomes),
+            success_rate=float(np.mean([o.met_spec for o in outcomes])),
+            mean_time=float(times.mean()),
+            median_time=float(np.median(times)),
+            mean_cost=float(costs.mean()),
+            median_cost=float(np.median(costs)),
+            mean_fabrications=float(np.mean([o.fabrications for o in outcomes])),
+            mean_simulations=float(np.mean([o.simulations for o in outcomes])),
+            mean_revisions=float(np.mean([o.revisions for o in outcomes])),
+        )
+
+
+def run_flow_monte_carlo(flow, runs=200, seed=0):
+    """Run a flow ``runs`` times with independent sub-seeds."""
+    root = np.random.default_rng(seed)
+    outcomes = []
+    for _ in range(runs):
+        outcomes.append(flow.run(np.random.default_rng(root.integers(2**63))))
+    return outcomes
+
+
+def compare_flows(problem, fidelity, fabrication, runs=200, seed=0):
+    """Both flows on identical (problem, fidelity, fabrication) settings.
+
+    Returns (simulate_first_stats, build_test_stats).
+    """
+    sim_first = SimulateFirstFlow(problem, fidelity, fabrication)
+    build_test = BuildTestFlow(problem, fidelity, fabrication)
+    return (
+        FlowStatistics.from_outcomes(run_flow_monte_carlo(sim_first, runs, seed)),
+        FlowStatistics.from_outcomes(run_flow_monte_carlo(build_test, runs, seed + 1)),
+    )
+
+
+def electronic_scenario(runs=200, seed=0):
+    """F1: an IC block -- accurate models, slow expensive fabrication.
+
+    Expected shape: simulate-first converges in ~1 fabrication and wins
+    on cost (and usually time) despite the simulation loop.
+    """
+    problem = DesignProblem()
+    fidelity = electronic_fidelity()
+    fabrication = cmos_mpw_iteration(PAPER_NODE)
+    return compare_flows(problem, fidelity, fabrication, runs, seed)
+
+
+def fluidic_scenario(runs=200, seed=0):
+    """F2: a fluidic package -- poor models, 2-3 day cheap fabrication.
+
+    Expected shape: build-test wins on both calendar time and cost; the
+    simulate-first flow burns weeks of low-information CFD and still
+    needs several fab spins.
+    """
+    problem = DesignProblem()
+    fidelity = fluidic_fidelity()
+    fabrication = dry_film_iteration()
+    return compare_flows(problem, fidelity, fabrication, runs, seed)
+
+
+@dataclass
+class CrossoverPoint:
+    """One cell of the crossover sweep."""
+
+    sigma: float
+    turnaround: float
+    sim_first_time: float
+    build_test_time: float
+
+    @property
+    def build_test_wins(self) -> bool:
+        return self.build_test_time < self.sim_first_time
+
+
+def crossover_sweep(
+    sigmas=(0.02, 0.05, 0.1, 0.2, 0.4),
+    turnarounds_days=(2.5, 10.0, 30.0, 90.0),
+    runs=100,
+    seed=0,
+    iteration_cost=500.0,
+):
+    """Map the winning flow over (model error, fab turnaround) space.
+
+    Holds the design problem fixed; sweeps the simulator's sigma and the
+    prototype turnaround (at fixed per-iteration cost).  Returns a list
+    of :class:`CrossoverPoint`.  The expected shape: build-test wins the
+    high-sigma / fast-fab corner (fluidics), simulate-first wins the
+    low-sigma / slow-fab corner (electronics).
+    """
+    problem = DesignProblem()
+    points = []
+    for sigma in sigmas:
+        fidelity = ModelFidelity(sigma=float(sigma))
+        for days_value in turnarounds_days:
+            fabrication = PrototypeIteration(
+                name=f"proto-{days_value:g}d",
+                cost=iteration_cost,
+                turnaround=days_value * 86400.0,
+            )
+            sim_stats, build_stats = compare_flows(
+                problem, fidelity, fabrication, runs=runs, seed=seed
+            )
+            points.append(
+                CrossoverPoint(
+                    sigma=float(sigma),
+                    turnaround=days_value * 86400.0,
+                    sim_first_time=sim_stats.median_time,
+                    build_test_time=build_stats.median_time,
+                )
+            )
+    return points

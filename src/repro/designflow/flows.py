@@ -1,0 +1,233 @@
+"""Stochastic simulation of the two design flows (Figs. 1 and 2).
+
+We model a design project as the reduction of a normalised *design gap*
+``g`` (g <= 0 means the device meets spec).  Each design revision
+improves the design by a stochastic increment whose mean depends on the
+*information* the team is acting on:
+
+* insight from simulation (limited by model fidelity),
+* measured data from a tested prototype (ground truth, the paper's
+  point: "fabrication and testing is an integral part of the design
+  cycle").
+
+**Fig. 1 (simulate-first, electronic):** revise and re-simulate until
+the simulator predicts a pass, then fabricate and test; a test failure
+("lengthy and expensive further iterations", the dotted line) forces
+another full spin.
+
+**Fig. 2 (build-first, fluidic):** fabricate and test every revision
+immediately; simulation is run *after* testing to interpret the data
+(the paper's re-positioned role for simulation), which enlarges the
+next revision's improvement.
+
+Both flows account calendar time and money; the comparison module runs
+them Monte Carlo and reproduces the paper's claimed regime split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .uncertainty import ModelFidelity
+from ..packaging.costmodel import PrototypeIteration
+
+
+@dataclass
+class FlowOutcome:
+    """Result of one simulated design project."""
+
+    flow: str
+    met_spec: bool
+    revisions: int  # design revisions attempted
+    fabrications: int  # prototypes built and tested
+    simulations: int  # simulation campaigns run
+    elapsed: float  # calendar time [s]
+    cost: float  # total money [EUR]
+    history: list = field(default_factory=list)  # true gap after each revision
+
+
+@dataclass(frozen=True)
+class DesignProblem:
+    """The difficulty of the design task, common to both flows.
+
+    Parameters
+    ----------
+    initial_gap:
+        Starting design gap (normalised to ~1).
+    revision_time / revision_cost:
+        Engineering effort per design revision [s] / [EUR].
+    test_time / test_cost:
+        Characterisation effort per fabricated prototype [s] / [EUR].
+    blind_improvement:
+        Mean gap reduction of a revision made with *no* new information
+        (designer intuition only).
+    informed_improvement:
+        Mean gap reduction when acting on ground-truth test data.
+    improvement_cv:
+        Coefficient of variation of the (lognormal) improvement draws.
+    """
+
+    initial_gap: float = 1.0
+    revision_time: float = 5.0 * 86400.0
+    revision_cost: float = 4000.0
+    test_time: float = 2.0 * 86400.0
+    test_cost: float = 1000.0
+    blind_improvement: float = 0.12
+    informed_improvement: float = 0.45
+    improvement_cv: float = 0.35
+
+    def __post_init__(self):
+        if self.initial_gap <= 0.0:
+            raise ValueError("initial gap must be positive")
+        if not 0.0 < self.blind_improvement <= self.informed_improvement:
+            raise ValueError("improvements must satisfy 0 < blind <= informed")
+
+
+def _draw_improvement(mean, cv, rng) -> float:
+    """Lognormal improvement draw with the given mean and CV."""
+    import math
+
+    sigma = math.sqrt(math.log(1.0 + cv**2))
+    mu = math.log(mean) - 0.5 * sigma**2
+    return float(rng.lognormal(mu, sigma))
+
+
+def _simulation_guidance(fidelity, problem):
+    """Mean improvement of a revision guided by simulation insight.
+
+    Interpolates between blind and informed improvement by the model's
+    *information quality* ``1 / (1 + (sigma/sigma0)^2)`` with sigma0 =
+    0.1: an accurate simulator is nearly as good as measured data (the
+    electronics regime); a sigma ~ 0.4 simulator adds little (the
+    fluidics regime).
+    """
+    quality = 1.0 / (1.0 + (fidelity.sigma / 0.1) ** 2)
+    return problem.blind_improvement + quality * (
+        problem.informed_improvement - problem.blind_improvement
+    )
+
+
+@dataclass
+class SimulateFirstFlow:
+    """Fig. 1: verify in simulation, fabricate only when predicted clean.
+
+    Parameters
+    ----------
+    problem, fidelity, fabrication:
+        The design task, the simulator's fidelity, and the prototype
+        economics (e.g. a CMOS MPW iteration).
+    max_sim_loops:
+        Safety bound on revise-and-simulate loops per spin.
+    max_spins:
+        Safety bound on fabricate-test spins before giving up.
+    """
+
+    problem: DesignProblem
+    fidelity: ModelFidelity
+    fabrication: PrototypeIteration
+    max_sim_loops: int = 50
+    max_spins: int = 10
+
+    def run(self, rng) -> FlowOutcome:
+        p, f = self.problem, self.fidelity
+        gap = p.initial_gap
+        elapsed = cost = 0.0
+        revisions = fabrications = simulations = 0
+        history = []
+        guided = _simulation_guidance(f, p)
+        for _ in range(self.max_spins):
+            # inner loop: revise against the simulator until predicted pass
+            for _ in range(self.max_sim_loops):
+                predicted = f.predict(-gap, rng)  # margin = -gap
+                simulations += 1
+                elapsed += f.run_time
+                cost += f.run_cost
+                if predicted > 0.0:
+                    break
+                gap -= _draw_improvement(guided, p.improvement_cv, rng)
+                revisions += 1
+                elapsed += p.revision_time
+                cost += p.revision_cost
+                history.append(gap)
+            # outer loop: fabricate and test (the expensive reality check)
+            fabrications += 1
+            elapsed += self.fabrication.turnaround + p.test_time
+            cost += self.fabrication.cost + p.test_cost
+            if gap <= 0.0:
+                return FlowOutcome(
+                    "simulate-first", True, revisions, fabrications, simulations,
+                    elapsed, cost, history,
+                )
+            # test failed: revise with measured data before the next spin
+            gap -= _draw_improvement(p.informed_improvement, p.improvement_cv, rng)
+            revisions += 1
+            elapsed += p.revision_time
+            cost += p.revision_cost
+            history.append(gap)
+        return FlowOutcome(
+            "simulate-first", gap <= 0.0, revisions, fabrications, simulations,
+            elapsed, cost, history,
+        )
+
+
+@dataclass
+class BuildTestFlow:
+    """Fig. 2: fabricate and test every revision; simulate to interpret.
+
+    Parameters
+    ----------
+    problem, fidelity, fabrication:
+        As above; ``fabrication`` here is the cheap fast iteration
+        (dry-film fluidics).
+    interpret_with_simulation:
+        Whether each tested prototype is followed by a simulation
+        campaign to interpret the data (Fig. 2's retained role for
+        simulation); it boosts the next improvement.
+    max_builds:
+        Safety bound on build-test cycles.
+    """
+
+    problem: DesignProblem
+    fidelity: ModelFidelity
+    fabrication: PrototypeIteration
+    interpret_with_simulation: bool = True
+    max_builds: int = 60
+
+    #: Improvement multiplier when test data is additionally interpreted
+    #: through simulation ("insights and interpretation of experimental
+    #: data", Fig. 2 caption).
+    INTERPRETATION_BONUS = 1.25
+
+    def run(self, rng) -> FlowOutcome:
+        p, f = self.problem, self.fidelity
+        gap = p.initial_gap
+        elapsed = cost = 0.0
+        revisions = fabrications = simulations = 0
+        history = []
+        for _ in range(self.max_builds):
+            # build and test the current design
+            fabrications += 1
+            elapsed += self.fabrication.turnaround + p.test_time
+            cost += self.fabrication.cost + p.test_cost
+            if gap <= 0.0:
+                return FlowOutcome(
+                    "build-test", True, revisions, fabrications, simulations,
+                    elapsed, cost, history,
+                )
+            improvement_mean = p.informed_improvement
+            if self.interpret_with_simulation:
+                simulations += 1
+                elapsed += f.run_time
+                cost += f.run_cost
+                improvement_mean *= self.INTERPRETATION_BONUS
+            gap -= _draw_improvement(improvement_mean, p.improvement_cv, rng)
+            revisions += 1
+            elapsed += p.revision_time
+            cost += p.revision_cost
+            history.append(gap)
+        return FlowOutcome(
+            "build-test", gap <= 0.0, revisions, fabrications, simulations,
+            elapsed, cost, history,
+        )

@@ -1,0 +1,20 @@
+"""Fluidics: chamber geometry, evaporation, transport, channel flow."""
+
+from .chamber import (
+    PAPER_SAMPLE_VOLUME,
+    Microchamber,
+    chamber_for_grid,
+    height_for_volume,
+)
+from .diffusion import DiffusionSolver2D, diffusive_mixing_time, peclet_number
+from .evaporation import EvaporationModel, evaporation_flux
+from .flow import (
+    RectangularChannel,
+    WATER_SURFACE_TENSION,
+    capillary_number,
+    capillary_pressure,
+    stokes_settling_check,
+    washburn_fill_time,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

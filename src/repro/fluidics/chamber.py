@@ -1,0 +1,104 @@
+"""Microchamber geometry: the liquid volume above the array.
+
+Fig. 3 of the paper: the chamber is the space bounded below by the CMOS
+die, laterally by dry-film resist walls, and above by the ITO-coated
+glass lid.  Its height sets the lid distance for the field model and,
+with the footprint, the liquid volume (the paper works with a ~4 ul
+drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..physics.constants import to_ul, ul
+
+
+@dataclass(frozen=True)
+class Microchamber:
+    """A rectangular microchamber.
+
+    Parameters
+    ----------
+    width, depth:
+        Footprint extents [m] (x and y).
+    height:
+        Wall / spacer height [m] -- also the electrode-to-lid distance.
+    """
+
+    width: float
+    depth: float
+    height: float
+
+    def __post_init__(self):
+        if min(self.width, self.depth, self.height) <= 0.0:
+            raise ValueError("chamber dimensions must be positive")
+
+    @property
+    def footprint_area(self) -> float:
+        """Footprint area [m^2]."""
+        return self.width * self.depth
+
+    @property
+    def volume(self) -> float:
+        """Chamber volume [m^3]."""
+        return self.footprint_area * self.height
+
+    @property
+    def volume_ul(self) -> float:
+        """Chamber volume in microlitres."""
+        return to_ul(self.volume)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Lateral extent over height (large for LoC chambers)."""
+        return max(self.width, self.depth) / self.height
+
+    def covers_grid(self, grid, margin=0.0) -> bool:
+        """Whether the chamber footprint covers the electrode array."""
+        return (
+            self.width >= grid.width + 2.0 * margin
+            and self.depth >= grid.height + 2.0 * margin
+        )
+
+    def fill_fraction(self, sample_volume) -> float:
+        """Fraction of the chamber the sample fills (may exceed 1)."""
+        if sample_volume < 0.0:
+            raise ValueError("sample volume must be non-negative")
+        return sample_volume / self.volume
+
+    def holds(self, sample_volume) -> bool:
+        """Whether the sample fits without overflowing."""
+        return self.fill_fraction(sample_volume) <= 1.0
+
+
+def chamber_for_grid(grid, height, margin=None):
+    """Chamber sized to the array footprint plus a perimeter margin.
+
+    Default margin is 10 electrode pitches of gasket clearance.
+    """
+    margin = margin if margin is not None else 10.0 * grid.pitch
+    return Microchamber(
+        width=grid.width + 2.0 * margin,
+        depth=grid.height + 2.0 * margin,
+        height=height,
+    )
+
+
+def height_for_volume(grid, target_volume, margin=None):
+    """Chamber height [m] that makes the grid-sized chamber hold a volume.
+
+    Solves the paper's sizing problem: what spacer thickness gives a
+    ~4 ul working drop over an 8 x 8 mm array (answer: ~50-60 um with
+    the default margin -- thin chambers, which is why the dry-film
+    lamination process of ref [5] matters).
+    """
+    if target_volume <= 0.0:
+        raise ValueError("target volume must be positive")
+    margin = margin if margin is not None else 10.0 * grid.pitch
+    area = (grid.width + 2.0 * margin) * (grid.height + 2.0 * margin)
+    return target_volume / area
+
+
+#: The paper's nominal sample volume.
+PAPER_SAMPLE_VOLUME = ul(4.0)

@@ -1,0 +1,118 @@
+"""Evaporation of the sample drop: the clock every open-chamber assay races.
+
+The paper lists "heating and evaporation" among the phenomena that make
+fluidic simulation hard; for the *designer*, the actionable quantity is
+simple: how long until a 4 ul drop loses enough water to concentrate the
+buffer (shifting conductivity and hence DEP behaviour) or strand the
+cells.  We model diffusion-limited evaporation from a thin chamber
+aperture and its side effects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..physics.constants import ROOM_TEMPERATURE
+
+
+#: Diffusion coefficient of water vapour in air [m^2/s] at ~25 degC.
+VAPOR_DIFFUSIVITY = 2.5e-5
+
+#: Saturation water-vapour concentration at 25 degC [kg/m^3].
+SATURATION_CONCENTRATION = 0.023
+
+#: Density of liquid water [kg/m^3].
+WATER_DENSITY = 997.0
+
+
+def evaporation_flux(relative_humidity, boundary_layer=1e-3):
+    """Diffusion-limited evaporative mass flux [kg/(m^2 s)].
+
+    ``J = D c_sat (1 - RH) / delta`` through a stagnant boundary layer of
+    thickness ``delta``.
+    """
+    if not 0.0 <= relative_humidity <= 1.0:
+        raise ValueError("relative humidity must be in [0, 1]")
+    if boundary_layer <= 0.0:
+        raise ValueError("boundary layer must be positive")
+    return (
+        VAPOR_DIFFUSIVITY
+        * SATURATION_CONCENTRATION
+        * (1.0 - relative_humidity)
+        / boundary_layer
+    )
+
+
+@dataclass
+class EvaporationModel:
+    """Evaporation of a chamber-held sample through an exposed aperture.
+
+    Parameters
+    ----------
+    exposed_area:
+        Liquid-air interface area [m^2] (inlet/outlet ports for a sealed
+        chamber; the full footprint for an open drop).
+    relative_humidity:
+        Ambient RH (0..1); enclosures raise it to slow evaporation.
+    boundary_layer:
+        Stagnant-air layer thickness [m].
+    temperature:
+        Ambient temperature [K] (only reported; the constants are
+        evaluated at room temperature).
+    """
+
+    exposed_area: float
+    relative_humidity: float = 0.5
+    boundary_layer: float = 1e-3
+    temperature: float = ROOM_TEMPERATURE
+
+    def __post_init__(self):
+        if self.exposed_area < 0.0:
+            raise ValueError("exposed area must be non-negative")
+
+    def mass_rate(self) -> float:
+        """Evaporated mass per second [kg/s]."""
+        return evaporation_flux(self.relative_humidity, self.boundary_layer) * self.exposed_area
+
+    def volume_rate(self) -> float:
+        """Volume loss per second [m^3/s]."""
+        return self.mass_rate() / WATER_DENSITY
+
+    def volume_after(self, initial_volume, seconds) -> float:
+        """Remaining volume after ``seconds`` (floored at zero)."""
+        if initial_volume < 0.0 or seconds < 0.0:
+            raise ValueError("volume and time must be non-negative")
+        return max(0.0, initial_volume - self.volume_rate() * seconds)
+
+    def time_to_fraction(self, initial_volume, fraction) -> float:
+        """Seconds until the sample shrinks to ``fraction`` of itself.
+
+        ``inf`` when evaporation is fully suppressed (RH = 1 or no
+        exposed area).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rate = self.volume_rate()
+        if rate == 0.0:
+            return math.inf
+        return initial_volume * (1.0 - fraction) / rate
+
+    def concentration_factor(self, initial_volume, seconds) -> float:
+        """Solute concentration multiplier after ``seconds``.
+
+        Solutes (salts, cells) stay while water leaves, so concentration
+        scales inversely with the remaining volume; this is what shifts
+        the buffer conductivity during a long assay.
+        """
+        remaining = self.volume_after(initial_volume, seconds)
+        if remaining <= 0.0:
+            return math.inf
+        return initial_volume / remaining
+
+    def assay_budget(self, initial_volume, max_concentration_factor=1.1) -> float:
+        """Longest assay [s] keeping concentration within a tolerance."""
+        if max_concentration_factor <= 1.0:
+            raise ValueError("concentration factor tolerance must exceed 1")
+        fraction = 1.0 / max_concentration_factor
+        return self.time_to_fraction(initial_volume, fraction)

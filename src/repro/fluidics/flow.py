@@ -1,0 +1,142 @@
+"""Laminar channel flow and wetting: the plumbing around the chamber.
+
+Feed channels, priming and capillary filling of the dry-film chamber
+(the paper's ref [5] process) are governed by low-Reynolds laminar flow;
+this module provides the standard lumped relations: hydraulic
+resistance of rectangular microchannels, pressure-driven flow, Reynolds
+and capillary numbers, and capillary filling (Washburn) dynamics with
+contact angle -- the "surface properties and wettability" the paper
+lists among the hard-to-simulate inputs, reduced to their design-level
+form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..physics.constants import WATER_DENSITY, WATER_VISCOSITY
+
+#: Water-air surface tension at room temperature [N/m].
+WATER_SURFACE_TENSION = 0.072
+
+
+@dataclass(frozen=True)
+class RectangularChannel:
+    """A straight rectangular microchannel.
+
+    Parameters
+    ----------
+    width, height:
+        Cross-section [m]; by convention height <= width.
+    length:
+        Channel length [m].
+    """
+
+    width: float
+    height: float
+    length: float
+
+    def __post_init__(self):
+        if min(self.width, self.height, self.length) <= 0.0:
+            raise ValueError("channel dimensions must be positive")
+
+    @property
+    def area(self) -> float:
+        """Cross-section area [m^2]."""
+        return self.width * self.height
+
+    @property
+    def hydraulic_diameter(self) -> float:
+        """4 A / P [m]."""
+        return 2.0 * self.width * self.height / (self.width + self.height)
+
+    def hydraulic_resistance(self, viscosity=WATER_VISCOSITY) -> float:
+        """Lumped resistance R = dP / Q [Pa s / m^3].
+
+        Uses the standard shallow-channel series solution truncated to
+        its leading correction::
+
+            R = 12 eta L / (w h^3 (1 - 0.63 h/w))
+
+        accurate to ~1% for h <= w.
+        """
+        w, h = max(self.width, self.height), min(self.width, self.height)
+        correction = 1.0 - 0.63 * h / w
+        return 12.0 * viscosity * self.length / (w * h**3 * correction)
+
+    def flow_rate(self, pressure_drop, viscosity=WATER_VISCOSITY) -> float:
+        """Volumetric flow [m^3/s] for a pressure drop [Pa]."""
+        return pressure_drop / self.hydraulic_resistance(viscosity)
+
+    def mean_velocity(self, pressure_drop, viscosity=WATER_VISCOSITY) -> float:
+        """Mean flow speed [m/s] for a pressure drop."""
+        return self.flow_rate(pressure_drop, viscosity) / self.area
+
+    def reynolds(self, velocity, density=WATER_DENSITY, viscosity=WATER_VISCOSITY) -> float:
+        """Reynolds number at a mean speed (<< 1 in these devices)."""
+        return density * abs(velocity) * self.hydraulic_diameter / viscosity
+
+    def fill_time(self, pressure_drop, viscosity=WATER_VISCOSITY) -> float:
+        """Seconds to prime the channel volume at the given pressure."""
+        q = self.flow_rate(pressure_drop, viscosity)
+        if q <= 0.0:
+            raise ValueError("non-positive flow rate")
+        return self.area * self.length / q
+
+
+def capillary_pressure(height, contact_angle_deg, surface_tension=WATER_SURFACE_TENSION):
+    """Capillary driving pressure of a thin gap [Pa].
+
+    ``P = 2 gamma cos(theta) / h`` for a slot of height ``h``.  Positive
+    for wetting walls (theta < 90 deg): the chamber self-primes.
+    Negative for theta > 90 deg: the chamber must be pressure-filled --
+    the wettability decision the dry-film designer faces.
+    """
+    if height <= 0.0:
+        raise ValueError("gap height must be positive")
+    return 2.0 * surface_tension * math.cos(math.radians(contact_angle_deg)) / height
+
+
+def washburn_fill_time(
+    length,
+    height,
+    contact_angle_deg,
+    viscosity=WATER_VISCOSITY,
+    surface_tension=WATER_SURFACE_TENSION,
+):
+    """Capillary (Washburn) filling time of a thin slot [s].
+
+    ``t = 3 eta L^2 / (gamma h cos(theta))`` -- infinite (math.inf) for
+    non-wetting walls.
+    """
+    if length <= 0.0 or height <= 0.0:
+        raise ValueError("geometry must be positive")
+    cos_theta = math.cos(math.radians(contact_angle_deg))
+    if cos_theta <= 0.0:
+        return math.inf
+    return 3.0 * viscosity * length**2 / (surface_tension * height * cos_theta)
+
+
+def capillary_number(velocity, viscosity=WATER_VISCOSITY, surface_tension=WATER_SURFACE_TENSION):
+    """Ca = eta v / gamma (viscous vs capillary forces)."""
+    return viscosity * abs(velocity) / surface_tension
+
+
+def stokes_settling_check(velocity, particle_radius, channel_height):
+    """Transit-to-settling comparison for carried particles.
+
+    Returns the ratio of channel transit residence per unit length to
+    the time a cell needs to sediment one channel height: values << 1
+    mean particles cross before settling.  (Uses a 1070 kg/m^3 cell.)
+    """
+    from ..physics.motion import sedimentation_velocity
+
+    if velocity <= 0.0:
+        raise ValueError("velocity must be positive")
+    settle = sedimentation_velocity(particle_radius, 1070.0)
+    if settle <= 0.0:
+        return 0.0
+    settle_time = channel_height / settle
+    residence_per_length = 1.0 / velocity
+    return residence_per_length / settle_time

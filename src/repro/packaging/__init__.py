@@ -1,0 +1,23 @@
+"""Packaging: Fig. 3 device stack, masks, DRC, processes, cost models."""
+
+from .costmodel import (
+    PrototypeIteration,
+    cmos_mpw_iteration,
+    cost_ratio,
+    dry_film_iteration,
+    full_mask_set_iteration,
+    iteration_from_process,
+    turnaround_ratio,
+)
+from .drc import DesignRules, DrcReport, Violation, check_port_enclosure, run_drc
+from .masks import FluidicLayout, MaskLayer, Rect, chamber_layout
+from .process import (
+    FabricationProcess,
+    ProcessStep,
+    dry_film_process,
+    glass_etch_process,
+    pdms_process,
+)
+from .stack import CmosDie, DeviceStack, GlassLid, paper_device_stack
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,129 @@
+"""Prototype cost and turnaround: fluidic vs CMOS (claims C5, F1 vs F2).
+
+The asymmetry the paper builds its whole argument on:
+
+* an IC prototype iteration costs tens-to-hundreds of kEUR (mask set +
+  MPW run) and takes months;
+* a dry-film fluidic iteration costs tens of EUR and takes two-three
+  days, with the lab equipped for "tens of thousands of euros".
+
+This module wraps the :mod:`repro.packaging.process` recipes and a CMOS
+MPW model into comparable :class:`PrototypeIteration` figures -- the
+inputs of the design-flow simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..physics.constants import days
+from .process import FabricationProcess, dry_film_process
+
+
+@dataclass(frozen=True)
+class PrototypeIteration:
+    """Cost/time of one build-and-test iteration of a prototype.
+
+    Parameters
+    ----------
+    name:
+        Technology label.
+    cost:
+        Marginal cost of one iteration [EUR].
+    turnaround:
+        Calendar time from design freeze to testable device [s].
+    setup_cost:
+        One-time investment to be able to iterate at all [EUR].
+    """
+
+    name: str
+    cost: float
+    turnaround: float
+    setup_cost: float = 0.0
+
+    def __post_init__(self):
+        if self.cost < 0.0 or self.turnaround <= 0.0 or self.setup_cost < 0.0:
+            raise ValueError("invalid iteration economics")
+
+    def total_cost(self, iterations, include_setup=True) -> float:
+        """Cost of ``iterations`` runs [EUR]."""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        base = self.setup_cost if include_setup else 0.0
+        return base + iterations * self.cost
+
+    def total_time(self, iterations) -> float:
+        """Calendar time of ``iterations`` sequential runs [s]."""
+        return iterations * self.turnaround
+
+
+def iteration_from_process(process: FabricationProcess) -> PrototypeIteration:
+    """Derive iteration economics from a fabrication recipe."""
+    return PrototypeIteration(
+        name=process.name,
+        cost=process.expected_cost_per_good_batch(),
+        turnaround=process.expected_turnaround_per_good_batch(),
+        setup_cost=process.setup_cost,
+    )
+
+
+def dry_film_iteration(mask_cost=5.0, layers=1) -> PrototypeIteration:
+    """The paper's fluidic iteration: few-euro masks, 2-3 day turnaround."""
+    return iteration_from_process(dry_film_process(mask_cost=mask_cost, layers=layers))
+
+
+def cmos_mpw_iteration(node, die_area=1.1e-4, shuttle_interval=days(90.0)) -> PrototypeIteration:
+    """A CMOS multi-project-wafer (shuttle) iteration on a given node.
+
+    Cost: the node's per-area MPW pricing (we derive a class value as a
+    multiple of production silicon cost -- MPW area trades at roughly
+    50-100x production cost) with a floor for the minimum block.
+    Turnaround: half a shuttle interval of queueing on average plus
+    ~8 weeks of fab/assembly -- "months", as the paper's Fig. 1
+    narrative assumes.
+
+    Parameters
+    ----------
+    node:
+        :class:`~repro.technology.nodes.TechnologyNode`.
+    die_area:
+        Prototype die area [m^2] (default ~10.5 x 10.5 mm).
+    shuttle_interval:
+        Time between shuttle launches [s].
+    """
+    if die_area <= 0.0:
+        raise ValueError("die area must be positive")
+    mpw_multiplier = 75.0
+    area_mm2 = die_area * 1e6
+    cost = max(10_000.0, mpw_multiplier * node.cost_per_mm2() * area_mm2)
+    turnaround = shuttle_interval / 2.0 + days(56.0)
+    return PrototypeIteration(
+        name=f"CMOS MPW {node.name}",
+        cost=cost,
+        turnaround=turnaround,
+        setup_cost=0.0,  # fabless: the foundry owns the line
+    )
+
+
+def full_mask_set_iteration(node, die_area=1.1e-4) -> PrototypeIteration:
+    """A dedicated full-mask CMOS run (production-style prototype)."""
+    wafer_count = 6
+    cost = node.mask_set_cost + wafer_count * node.wafer_cost
+    return PrototypeIteration(
+        name=f"CMOS full-mask {node.name}",
+        cost=cost,
+        turnaround=days(84.0),
+        setup_cost=0.0,
+    )
+
+
+def cost_ratio(fluidic: PrototypeIteration, electronic: PrototypeIteration) -> float:
+    """Electronic/fluidic per-iteration cost ratio (>> 1 per the paper)."""
+    if fluidic.cost <= 0.0:
+        return float("inf")
+    return electronic.cost / fluidic.cost
+
+
+def turnaround_ratio(fluidic: PrototypeIteration, electronic: PrototypeIteration) -> float:
+    """Electronic/fluidic turnaround ratio (>> 1 per the paper)."""
+    return electronic.turnaround / fluidic.turnaround

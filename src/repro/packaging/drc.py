@@ -1,0 +1,162 @@
+"""Design-rule checking for fluidic mask layouts.
+
+The dry-film process of the paper's ref [5] has design rules just like
+an IC process -- only ~1000x coarser: minimum wall width and channel
+gap around a hundred microns, features confined to the substrate, and
+(for two-layer stacks) lid ports fully enclosed by the cavity.  The
+checker reports structured violations instead of raising, because a
+designer iterating on a layout wants the full list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .masks import FluidicLayout, Rect
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Process design rules for the fluidic layers.
+
+    Parameters
+    ----------
+    min_feature:
+        Minimum drawn feature (wall/port width) [m]; the paper quotes
+        "order of hundred microns" for fluidic structures.
+    min_gap:
+        Minimum same-layer spacing between distinct features [m].
+    substrate:
+        Outline Rect all geometry must stay inside, or None to skip.
+    port_enclosure:
+        For lid ports: minimum distance from a port edge to the chamber
+        cavity edge [m] (only checked by :func:`check_port_enclosure`).
+    """
+
+    min_feature: float = 100e-6
+    min_gap: float = 100e-6
+    substrate: Rect | None = None
+    port_enclosure: float = 200e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One design-rule violation."""
+
+    rule: str
+    layer: str
+    detail: str
+    measured: float
+    required: float
+
+
+@dataclass
+class DrcReport:
+    """Structured result of a DRC run."""
+
+    violations: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def count(self, rule=None) -> int:
+        if rule is None:
+            return len(self.violations)
+        return sum(1 for v in self.violations if v.rule == rule)
+
+    def summary(self) -> str:
+        if self.clean:
+            return "DRC clean"
+        lines = [f"{len(self.violations)} violation(s):"]
+        for v in self.violations:
+            lines.append(
+                f"  [{v.rule}] layer {v.layer}: {v.detail} "
+                f"(measured {v.measured:.3e}, requires {v.required:.3e})"
+            )
+        return "\n".join(lines)
+
+
+def run_drc(layout, rules) -> DrcReport:
+    """Check a :class:`~repro.packaging.masks.FluidicLayout` against rules.
+
+    Checks, per layer: minimum feature size, pairwise overlap (features
+    must be disjoint), minimum gap between distinct features, and
+    substrate containment when a substrate outline is given.
+    """
+    if not isinstance(layout, FluidicLayout):
+        raise TypeError("run_drc expects a FluidicLayout")
+    report = DrcReport()
+    for layer_name, layer in layout.layers.items():
+        for i, rect in enumerate(layer.rects):
+            if rect.min_feature < rules.min_feature:
+                report.violations.append(
+                    Violation(
+                        rule="min-feature",
+                        layer=layer_name,
+                        detail=f"rect #{i}",
+                        measured=rect.min_feature,
+                        required=rules.min_feature,
+                    )
+                )
+            if rules.substrate is not None and not rules.substrate.contains(rect):
+                report.violations.append(
+                    Violation(
+                        rule="substrate",
+                        layer=layer_name,
+                        detail=f"rect #{i} outside substrate",
+                        measured=0.0,
+                        required=0.0,
+                    )
+                )
+        for i, a in enumerate(layer.rects):
+            for j in range(i + 1, len(layer.rects)):
+                b = layer.rects[j]
+                if a.intersects(b):
+                    report.violations.append(
+                        Violation(
+                            rule="overlap",
+                            layer=layer_name,
+                            detail=f"rects #{i} and #{j} overlap",
+                            measured=0.0,
+                            required=0.0,
+                        )
+                    )
+                else:
+                    gap = a.gap_to(b)
+                    if 0.0 < gap < rules.min_gap:
+                        report.violations.append(
+                            Violation(
+                                rule="min-gap",
+                                layer=layer_name,
+                                detail=f"rects #{i} and #{j}",
+                                measured=gap,
+                                required=rules.min_gap,
+                            )
+                        )
+    return report
+
+
+def check_port_enclosure(layout, cavity, rules, port_layer="lid-ports") -> DrcReport:
+    """Verify lid ports sit inside the cavity with the required margin."""
+    report = DrcReport()
+    if port_layer not in layout.layers:
+        return report
+    shrunk = Rect(
+        cavity.x_min + rules.port_enclosure,
+        cavity.y_min + rules.port_enclosure,
+        cavity.x_max - rules.port_enclosure,
+        cavity.y_max - rules.port_enclosure,
+    )
+    for i, port in enumerate(layout.layers[port_layer].rects):
+        if not shrunk.contains(port):
+            report.violations.append(
+                Violation(
+                    rule="port-enclosure",
+                    layer=port_layer,
+                    detail=f"port #{i} too close to cavity edge",
+                    measured=0.0,
+                    required=rules.port_enclosure,
+                )
+            )
+    return report

@@ -1,0 +1,188 @@
+"""The Fig. 3 device stack: CMOS die, dry-film walls, ITO glass lid.
+
+"The fluidic microchamber packaging is implemented double bonding the
+ito-coated glass, patterned with dry-resist film, to a CMOS chip."
+:class:`DeviceStack` assembles the three layers, derives the chamber the
+fluidics package needs, and validates the electrical and geometric
+consistency of the whole hybrid device -- the packaging "key issue
+deeply connected with the fluidic aspects".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fluidics.chamber import Microchamber
+from .drc import DesignRules, check_port_enclosure, run_drc
+from .masks import Rect, chamber_layout
+
+
+@dataclass(frozen=True)
+class CmosDie:
+    """The active substrate: array core plus pad ring.
+
+    Parameters
+    ----------
+    width, depth:
+        Die outline [m].
+    array_width, array_depth:
+        Active electrode-array extents [m] (centred on the die).
+    pad_clearance:
+        Width of the bond-pad strip that must stay dry (outside the
+        chamber gasket) [m].
+    """
+
+    width: float
+    depth: float
+    array_width: float
+    array_depth: float
+    pad_clearance: float = 1.5e-3
+
+    def __post_init__(self):
+        if self.array_width >= self.width or self.array_depth >= self.depth:
+            raise ValueError("array must fit inside the die outline")
+
+    @property
+    def outline(self) -> Rect:
+        return Rect(0.0, 0.0, self.width, self.depth)
+
+    @property
+    def array_rect(self) -> Rect:
+        x0 = (self.width - self.array_width) / 2.0
+        y0 = (self.depth - self.array_depth) / 2.0
+        return Rect(x0, y0, x0 + self.array_width, y0 + self.array_depth)
+
+
+@dataclass(frozen=True)
+class GlassLid:
+    """ITO-coated glass lid: counter electrode plus optical window."""
+
+    width: float
+    depth: float
+    thickness: float = 0.7e-3
+    ito_sheet_resistance: float = 20.0  # ohm/square
+    transmittance: float = 0.85  # optical, for the optical sensor path
+
+    def __post_init__(self):
+        if min(self.width, self.depth, self.thickness) <= 0.0:
+            raise ValueError("lid dimensions must be positive")
+        if not 0.0 < self.transmittance <= 1.0:
+            raise ValueError("transmittance must be in (0, 1]")
+
+
+@dataclass
+class DeviceStack:
+    """The assembled hybrid device of Fig. 3.
+
+    Parameters
+    ----------
+    die:
+        :class:`CmosDie`.
+    lid:
+        :class:`GlassLid`.
+    wall_height:
+        Dry-film wall (spacer) height [m]; one laminated film is
+        ~50 um, films can be stacked.
+    chamber_margin:
+        Gap between the array edge and the chamber wall [m].
+    """
+
+    die: CmosDie
+    lid: GlassLid
+    wall_height: float = 50e-6
+    chamber_margin: float = 0.5e-3
+    rules: DesignRules = field(default_factory=DesignRules)
+
+    def __post_init__(self):
+        if self.wall_height <= 0.0:
+            raise ValueError("wall height must be positive")
+
+    def chamber(self) -> Microchamber:
+        """The liquid chamber the stack encloses."""
+        return Microchamber(
+            width=self.die.array_width + 2.0 * self.chamber_margin,
+            depth=self.die.array_depth + 2.0 * self.chamber_margin,
+            height=self.wall_height,
+        )
+
+    def cavity_rect(self) -> Rect:
+        chamber = self.chamber()
+        x0 = (self.die.width - chamber.width) / 2.0
+        y0 = (self.die.depth - chamber.depth) / 2.0
+        return Rect(x0, y0, x0 + chamber.width, y0 + chamber.depth)
+
+    def layout(self):
+        """Generate the fluidic mask layout for this stack."""
+        return chamber_layout(self.die.width, self.die.depth, self.chamber())
+
+    def validate(self):
+        """Full consistency check; returns a list of problem strings.
+
+        Checks: lid covers the cavity, cavity covers the array, the
+        gasket keeps clear of the pad ring, and the generated layout is
+        DRC clean (including port enclosure).
+        """
+        problems = []
+        chamber = self.chamber()
+        cavity = self.cavity_rect()
+        if self.lid.width < chamber.width or self.lid.depth < chamber.depth:
+            problems.append("lid smaller than the chamber footprint")
+        if not cavity.contains(self.die.array_rect):
+            problems.append("chamber cavity does not cover the electrode array")
+        pad_zone = self.die.pad_clearance
+        if (
+            cavity.x_min < pad_zone
+            or cavity.y_min < pad_zone
+            or cavity.x_max > self.die.width - pad_zone
+            or cavity.y_max > self.die.depth - pad_zone
+        ):
+            problems.append("chamber walls intrude into the bond-pad clearance")
+        rules = DesignRules(
+            min_feature=self.rules.min_feature,
+            min_gap=self.rules.min_gap,
+            substrate=self.die.outline,
+            port_enclosure=self.rules.port_enclosure,
+        )
+        layout = self.layout()
+        report = run_drc(layout, rules)
+        # the four wall strips legitimately touch; only true overlaps and
+        # feature/gap/substrate rules matter here
+        for violation in report.violations:
+            problems.append(f"DRC {violation.rule}: {violation.detail}")
+        ports = check_port_enclosure(layout, cavity, rules)
+        for violation in ports.violations:
+            problems.append(f"DRC {violation.rule}: {violation.detail}")
+        return problems
+
+    def is_valid(self) -> bool:
+        return not self.validate()
+
+    def counter_electrode_drop(self, drive_current=1e-3) -> float:
+        """Worst-case resistive drop across the ITO lid [V].
+
+        The ITO sheet carries the return current of the whole array;
+        ~squares-counting estimate with the lid's sheet resistance.
+        Large drops would distort cage symmetry near the chamber edges.
+        """
+        squares = max(self.lid.width, self.lid.depth) / min(
+            self.lid.width, self.lid.depth
+        )
+        return drive_current * self.lid.ito_sheet_resistance * squares
+
+
+def paper_device_stack() -> DeviceStack:
+    """A stack with the paper's published class of dimensions.
+
+    8 x 8 mm active array on a ~10.5 x 10.5 mm die, one 50 um dry-film
+    lamination, ITO glass lid -- a 9 x 9 mm x 50 um cavity holding
+    ~4 ul: the paper's working drop.
+    """
+    die = CmosDie(
+        width=10.5e-3,
+        depth=10.5e-3,
+        array_width=8.0e-3,
+        array_depth=8.0e-3,
+        pad_clearance=0.6e-3,
+    )
+    lid = GlassLid(width=10.0e-3, depth=10.0e-3)
+    return DeviceStack(die=die, lid=lid, wall_height=50e-6, chamber_margin=0.5e-3)

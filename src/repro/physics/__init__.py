@@ -1,0 +1,86 @@
+"""Physics engine: dielectrics, DEP, fields, motion, noise, thermal.
+
+This package is the simulated substitute for the paper's fabricated
+CMOS chip and wet lab: every scaling law the paper reasons about
+(F ∝ V², mass-transfer timescales, sqrt(N) averaging, Joule heating
+bounds) is implemented here from first principles.
+"""
+
+from .constants import (
+    BOLTZMANN,
+    EPSILON_0,
+    GRAVITY,
+    ROOM_TEMPERATURE,
+    WATER_DENSITY,
+    WATER_RELATIVE_PERMITTIVITY,
+    WATER_VISCOSITY,
+    af,
+    days,
+    ff,
+    hours,
+    khz,
+    mhz,
+    minutes,
+    mm,
+    nl,
+    nm,
+    pf,
+    sphere_radius_from_volume,
+    sphere_volume,
+    thermal_energy,
+    to_ul,
+    to_um,
+    ul,
+    um,
+    um_per_s,
+)
+from .dielectrics import (
+    Dielectric,
+    ShellModel,
+    clausius_mossotti,
+    crossover_frequency,
+    maxwell_garnett_mixture,
+    real_cm,
+    water_medium,
+)
+from .dep import DepCage, buoyant_weight, dep_force, dep_force_scale
+from .fields import (
+    ArrayFieldModel,
+    ElectrodePatch,
+    cage_field_model,
+    checkerboard_cage_patches,
+    rectangle_solid_angle,
+)
+from .motion import (
+    LangevinStepper,
+    brownian_rms_displacement,
+    diffusion_coefficient,
+    force_for_velocity,
+    max_stable_timestep,
+    sedimentation_velocity,
+    stokes_drag_coefficient,
+    terminal_velocity,
+    thermal_escape_ratio,
+    transit_time,
+)
+from .noise import (
+    NoiseGenerator,
+    averaged_white_noise,
+    flicker_noise_voltage,
+    johnson_noise_voltage,
+    ktc_noise_charge,
+    ktc_noise_voltage,
+    samples_for_target_snr,
+    shot_noise_current,
+    snr_after_averaging,
+    snr_db,
+)
+from .thermal import (
+    ChipThermalModel,
+    electrothermal_velocity_scale,
+    joule_heating_density,
+    joule_power,
+    temperature_rise_scale,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,169 @@
+"""Physical constants and unit helpers used throughout the library.
+
+All library code works in SI units.  The helper functions in this module
+convert the units that are natural in the lab-on-a-chip domain
+(micrometres, microlitres, centipoise, ...) into SI so that call sites
+stay readable::
+
+    pitch = um(20)          # 20 micrometres, in metres
+    volume = ul(4)          # the paper's 4 microlitre sample drop, in m^3
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Fundamental constants (CODATA values, truncated to the precision that
+# matters for micro-scale electrokinetics).
+# ---------------------------------------------------------------------------
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Vacuum permittivity [F/m].
+EPSILON_0 = 8.8541878128e-12
+
+#: Standard gravitational acceleration [m/s^2].
+GRAVITY = 9.80665
+
+#: Avogadro constant [1/mol].
+AVOGADRO = 6.02214076e23
+
+# ---------------------------------------------------------------------------
+# Material defaults (aqueous suspension media at room temperature).
+# ---------------------------------------------------------------------------
+
+#: Default laboratory temperature [K] (25 degC).
+ROOM_TEMPERATURE = 298.15
+
+#: Relative permittivity of water at room temperature.
+WATER_RELATIVE_PERMITTIVITY = 78.5
+
+#: Dynamic viscosity of water at room temperature [Pa s].
+WATER_VISCOSITY = 0.89e-3
+
+#: Density of water at room temperature [kg/m^3].
+WATER_DENSITY = 997.0
+
+#: Thermal conductivity of water [W/(m K)].
+WATER_THERMAL_CONDUCTIVITY = 0.606
+
+#: Specific heat capacity of water [J/(kg K)].
+WATER_HEAT_CAPACITY = 4181.0
+
+#: Latent heat of vaporisation of water [J/kg].
+WATER_LATENT_HEAT = 2.26e6
+
+#: Conductivity of a typical low-conductivity DEP buffer [S/m].
+DEP_BUFFER_CONDUCTIVITY = 0.02
+
+#: Conductivity of physiological saline [S/m] (for contrast with DEP buffer).
+SALINE_CONDUCTIVITY = 1.6
+
+# ---------------------------------------------------------------------------
+# Unit helpers.  Each accepts a scalar or numpy array and returns SI.
+# ---------------------------------------------------------------------------
+
+
+def um(value):
+    """Micrometres -> metres."""
+    return value * 1e-6
+
+
+def to_um(value):
+    """Metres -> micrometres."""
+    return value * 1e6
+
+
+def nm(value):
+    """Nanometres -> metres."""
+    return value * 1e-9
+
+
+def mm(value):
+    """Millimetres -> metres."""
+    return value * 1e-3
+
+
+def ul(value):
+    """Microlitres -> cubic metres."""
+    return value * 1e-9
+
+
+def to_ul(value):
+    """Cubic metres -> microlitres."""
+    return value * 1e9
+
+
+def nl(value):
+    """Nanolitres -> cubic metres."""
+    return value * 1e-12
+
+
+def pf(value):
+    """Picofarads -> farads."""
+    return value * 1e-12
+
+
+def ff(value):
+    """Femtofarads -> farads."""
+    return value * 1e-15
+
+
+def af(value):
+    """Attofarads -> farads."""
+    return value * 1e-18
+
+
+def khz(value):
+    """Kilohertz -> hertz."""
+    return value * 1e3
+
+
+def mhz(value):
+    """Megahertz -> hertz."""
+    return value * 1e6
+
+
+def um_per_s(value):
+    """Micrometres per second -> metres per second."""
+    return value * 1e-6
+
+
+def days(value):
+    """Days -> seconds."""
+    return value * 86400.0
+
+
+def hours(value):
+    """Hours -> seconds."""
+    return value * 3600.0
+
+
+def minutes(value):
+    """Minutes -> seconds."""
+    return value * 60.0
+
+
+def angular_frequency(frequency_hz):
+    """Ordinary frequency [Hz] -> angular frequency [rad/s]."""
+    return 2.0 * math.pi * frequency_hz
+
+
+def thermal_energy(temperature=ROOM_TEMPERATURE):
+    """kT at the given temperature [J]."""
+    return BOLTZMANN * temperature
+
+
+def sphere_volume(radius):
+    """Volume of a sphere of the given radius [m^3]."""
+    return 4.0 / 3.0 * math.pi * radius**3
+
+
+def sphere_radius_from_volume(volume):
+    """Radius of the sphere with the given volume [m]."""
+    return (3.0 * volume / (4.0 * math.pi)) ** (1.0 / 3.0)

@@ -1,0 +1,209 @@
+"""Dielectrophoresis: forces, cages, levitation and holding.
+
+The point-dipole DEP force on a spherical particle of radius ``R`` in a
+medium of absolute permittivity ``eps_m`` is::
+
+    F = 2 pi eps_m R^3 Re[K(omega)] grad |E_rms|^2
+
+with ``K`` the Clausius--Mossotti factor (:mod:`repro.physics.dielectrics`).
+Negative ``Re[K]`` (nDEP) pushes the particle towards field minima: the
+paper's chip programs a counter-phase electrode surrounded by in-phase
+neighbours so that a *closed* field minimum forms above the electrode,
+trapping the particle in stable levitation.
+
+This module provides:
+
+* :func:`dep_force` -- the point-dipole force given ``grad |E|^2``.
+* :func:`dep_force_scale` -- the analytic V^2/d^3 scaling used by the
+  technology trade-off study (claim C1 of DESIGN.md).
+* :class:`DepCage` -- a trapped-particle abstraction: levitation height,
+  stiffness, maximum drag speed and holding force, all computed from the
+  semi-analytic field model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import brentq
+
+from .constants import EPSILON_0, GRAVITY, WATER_DENSITY
+from .dielectrics import clausius_mossotti
+from .fields import cage_field_model
+
+
+def dep_force(radius, medium_permittivity, real_cm_factor, grad_e2):
+    """Point-dipole DEP force [N].
+
+    Parameters
+    ----------
+    radius:
+        Particle radius [m].
+    medium_permittivity:
+        Absolute permittivity of the medium [F/m].
+    real_cm_factor:
+        Re[K(omega)], in [-0.5, 1].
+    grad_e2:
+        Gradient of |E_rms|^2 -- scalar component or ndarray [V^2/m^3].
+    """
+    return 2.0 * math.pi * medium_permittivity * radius**3 * real_cm_factor * np.asarray(grad_e2)
+
+
+def dep_force_scale(radius, voltage, pitch, medium_relative_permittivity=78.5, cm=0.5):
+    """Characteristic DEP force magnitude [N] from dimensional analysis.
+
+    ``|grad E^2| ~ V^2 / d^3`` for electrode pitch ``d``, so::
+
+        F ~ 2 pi eps_m R^3 |K| V^2 / d^3
+
+    This is the scaling behind the paper's claim that *older technology
+    generations may best fit*: actuation force grows with the square of
+    the supply voltage, which shrinks with every new CMOS node.
+    """
+    eps_m = medium_relative_permittivity * EPSILON_0
+    return 2.0 * math.pi * eps_m * radius**3 * abs(cm) * voltage**2 / pitch**3
+
+
+def buoyant_weight(radius, particle_density, medium_density=WATER_DENSITY):
+    """Net gravitational force on an immersed sphere [N] (positive = down)."""
+    volume = 4.0 / 3.0 * math.pi * radius**3
+    return volume * (particle_density - medium_density) * GRAVITY
+
+
+@dataclass
+class DepCage:
+    """A closed nDEP cage above one counter-phase electrode.
+
+    Combines the semi-analytic array field with the point-dipole force to
+    answer the questions the paper's platform poses: where does the
+    particle levitate, how stiff is the trap, and how fast can a moving
+    cage drag the particle before it falls out?
+
+    Parameters
+    ----------
+    pitch:
+        Electrode pitch [m] (the paper's chip: 20 um).
+    voltage:
+        Drive amplitude [V] (RMS phasor magnitude).
+    lid_height:
+        Chamber height / lid distance [m].
+    particle:
+        Object with ``complex_permittivity`` and ``radius`` (e.g.
+        :class:`repro.bio.particles.Particle` dielectric model).
+    medium:
+        :class:`repro.physics.dielectrics.Dielectric` of the buffer.
+    frequency:
+        Drive frequency [Hz].
+    particle_density:
+        Mass density of the particle [kg/m^3].
+    """
+
+    pitch: float
+    voltage: float
+    lid_height: float
+    particle: object
+    medium: object
+    frequency: float
+    particle_density: float = 1070.0
+
+    def __post_init__(self):
+        self._model = cage_field_model(self.pitch, self.voltage, self.lid_height)
+        omega = 2.0 * math.pi * self.frequency
+        self._cm = float(np.real(clausius_mossotti(self.particle, self.medium, omega)))
+        self._eps_m = self.medium.absolute_permittivity
+
+    @property
+    def real_cm(self) -> float:
+        """Re[K] at the drive frequency."""
+        return self._cm
+
+    @property
+    def radius(self) -> float:
+        return self.particle.radius
+
+    def force_at(self, x, y, z):
+        """DEP force vector (Fx, Fy, Fz) at a point [N]."""
+        gx, gy, gz = self._model.grad_e2(x, y, z)
+        scale = 2.0 * math.pi * self._eps_m * self.radius**3 * self._cm
+        return scale * np.asarray(gx), scale * np.asarray(gy), scale * np.asarray(gz)
+
+    def vertical_force(self, z):
+        """Vertical DEP force on the cage axis at height ``z`` [N]."""
+        __, __, fz = self.force_at(0.0, 0.0, z)
+        return float(fz)
+
+    def net_vertical_force(self, z):
+        """DEP force minus buoyant weight at height ``z`` [N]."""
+        return self.vertical_force(z) - buoyant_weight(
+            self.radius, self.particle_density
+        )
+
+    def levitation_height(self):
+        """Stable levitation height of the trapped particle [m].
+
+        Finds the equilibrium ``z`` where the upward nDEP force balances
+        the buoyant weight, scanning the cage axis from just above the
+        electrode to just below the lid.  Returns ``None`` when the cage
+        cannot levitate the particle (e.g. pDEP particle or drive too
+        weak) -- which is itself a meaningful engineering answer.
+        """
+        if self._cm >= 0.0:
+            return None
+        z_lo = max(self.radius, 0.02 * self.pitch)
+        z_hi = self.lid_height - max(self.radius, 0.02 * self.pitch)
+        if z_lo >= z_hi:
+            return None
+        zs = np.linspace(z_lo, z_hi, 96)
+        # vectorised scan: one grad_e2 call over the whole z range
+        __, __, fz = self.force_at(np.zeros_like(zs), np.zeros_like(zs), zs)
+        net = np.asarray(fz) - buoyant_weight(self.radius, self.particle_density)
+        # A stable equilibrium has net force crossing + -> - as z grows.
+        for i in range(len(zs) - 1):
+            if net[i] > 0.0 >= net[i + 1]:
+                return float(brentq(self.net_vertical_force, zs[i], zs[i + 1]))
+        return None
+
+    def lateral_stiffness(self, z=None, probe=None):
+        """Lateral trap stiffness k [N/m] near the cage axis.
+
+        Linearises the lateral restoring force at levitation height
+        (``Fx ~ -k x``).  A positive return value means the trap is
+        laterally stable.
+        """
+        if z is None:
+            z = self.levitation_height()
+            if z is None:
+                return None
+        probe = probe if probe is not None else 0.05 * self.pitch
+        fx_plus, __, __ = self.force_at(probe, 0.0, z)
+        fx_minus, __, __ = self.force_at(-probe, 0.0, z)
+        return -float(fx_plus - fx_minus) / (2.0 * probe)
+
+    def max_lateral_force(self, z=None, n=64):
+        """Maximum restoring lateral force along x at height ``z`` [N].
+
+        This is the holding force that limits how fast the cage can be
+        dragged: moving the cage exerts viscous drag on the particle, and
+        the particle escapes when drag exceeds this force.
+        """
+        if z is None:
+            z = self.levitation_height()
+            if z is None:
+                return None
+        xs = np.linspace(0.01 * self.pitch, 1.2 * self.pitch, n)
+        fx, __, __ = self.force_at(xs, np.zeros_like(xs), np.full_like(xs, z))
+        return float(np.max(-np.asarray(fx)))
+
+    def max_drag_speed(self, viscosity=0.89e-3, z=None):
+        """Maximum cage translation speed before particle loss [m/s].
+
+        Balances the Stokes drag ``6 pi eta R v`` against the maximum
+        lateral holding force.  The paper quotes typical achieved speeds
+        of 10-100 um/s.
+        """
+        f_max = self.max_lateral_force(z=z)
+        if f_max is None or f_max <= 0.0:
+            return 0.0
+        return f_max / (6.0 * math.pi * viscosity * self.radius)

@@ -1,0 +1,203 @@
+"""Complex permittivities and Clausius--Mossotti factors.
+
+Dielectrophoresis (DEP) -- the effect the paper's chip uses to trap and
+drag cells -- depends on the *contrast* between the complex permittivity
+of a particle and that of the suspending medium.  This module implements
+the standard machinery:
+
+* :class:`Dielectric` -- a lossy dielectric (permittivity + conductivity)
+  evaluated as a complex permittivity at any angular frequency.
+* :func:`clausius_mossotti` -- the CM factor for a homogeneous sphere.
+* :class:`ShellModel` -- the single-/multi-shell "smeared sphere" model
+  used for biological cells (membrane shell around cytoplasm), which is
+  what makes live and dead cells separable by DEP.
+* :func:`crossover_frequency` -- the frequency where Re[CM] changes sign.
+
+References: T. B. Jones, *Electromechanics of Particles*; the paper's
+refs [2][3] use exactly this physics for their DEP cages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .constants import EPSILON_0, WATER_RELATIVE_PERMITTIVITY, DEP_BUFFER_CONDUCTIVITY
+
+
+@dataclass(frozen=True)
+class Dielectric:
+    """A lossy dielectric medium or particle material.
+
+    Parameters
+    ----------
+    relative_permittivity:
+        Real relative permittivity (dimensionless, > 0).
+    conductivity:
+        Ohmic conductivity [S/m] (>= 0).
+    name:
+        Optional label used in reports.
+    """
+
+    relative_permittivity: float
+    conductivity: float
+    name: str = ""
+
+    def __post_init__(self):
+        if self.relative_permittivity <= 0.0:
+            raise ValueError(
+                f"relative permittivity must be positive, got {self.relative_permittivity}"
+            )
+        if self.conductivity < 0.0:
+            raise ValueError(f"conductivity must be >= 0, got {self.conductivity}")
+
+    @property
+    def absolute_permittivity(self) -> float:
+        """Real absolute permittivity [F/m]."""
+        return self.relative_permittivity * EPSILON_0
+
+    def complex_permittivity(self, omega):
+        """Complex permittivity eps* = eps - j sigma/omega at ``omega`` [rad/s].
+
+        ``omega`` may be a scalar or a numpy array; the return type follows.
+        """
+        omega = np.asarray(omega, dtype=float)
+        if np.any(omega <= 0.0):
+            raise ValueError("angular frequency must be positive")
+        eps = self.relative_permittivity * EPSILON_0
+        result = eps - 1j * self.conductivity / omega
+        if result.shape == ():
+            return complex(result)
+        return result
+
+    def relaxation_time(self) -> float:
+        """Charge relaxation time eps/sigma [s] (inf for a perfect insulator)."""
+        if self.conductivity == 0.0:
+            return math.inf
+        return self.absolute_permittivity / self.conductivity
+
+
+def water_medium(conductivity: float = DEP_BUFFER_CONDUCTIVITY) -> Dielectric:
+    """Aqueous suspension medium with the given conductivity [S/m]."""
+    return Dielectric(WATER_RELATIVE_PERMITTIVITY, conductivity, name="aqueous medium")
+
+
+def clausius_mossotti(particle, medium, omega):
+    """Clausius--Mossotti factor of a homogeneous sphere.
+
+    K(omega) = (eps_p* - eps_m*) / (eps_p* + 2 eps_m*)
+
+    Parameters
+    ----------
+    particle, medium:
+        :class:`Dielectric` instances (or anything exposing
+        ``complex_permittivity``).
+    omega:
+        Angular frequency [rad/s], scalar or array.
+
+    Returns
+    -------
+    complex or ndarray of complex
+        The CM factor.  Its real part is bounded in [-0.5, 1.0]; the sign
+        selects positive DEP (attraction to field maxima) or negative DEP
+        (repulsion towards field minima -- the levitating cages of the
+        paper's chip use negative DEP).
+    """
+    eps_p = particle.complex_permittivity(omega)
+    eps_m = medium.complex_permittivity(omega)
+    return (eps_p - eps_m) / (eps_p + 2.0 * eps_m)
+
+
+def real_cm(particle, medium, frequency_hz):
+    """Real part of the CM factor at an ordinary frequency [Hz]."""
+    omega = 2.0 * math.pi * np.asarray(frequency_hz, dtype=float)
+    return np.real(clausius_mossotti(particle, medium, omega))
+
+
+@dataclass(frozen=True)
+class ShellModel:
+    """Single-shell dielectric model of a biological cell.
+
+    A cell is modelled as an inner sphere (cytoplasm) of radius
+    ``inner_radius`` covered by a thin shell (membrane) extending to
+    ``outer_radius``.  The two-layer object is replaced by an equivalent
+    homogeneous sphere whose complex permittivity is::
+
+        eps_eff* = eps_sh* * (g^3 + 2 K_is) / (g^3 - K_is)
+
+    with ``g = outer_radius / inner_radius`` and
+    ``K_is = (eps_in* - eps_sh*) / (eps_in* + 2 eps_sh*)``.
+
+    Nesting :class:`ShellModel` instances (``interior`` may itself be a
+    shell model) yields the standard multi-shell model.
+    """
+
+    interior: object  # Dielectric or ShellModel
+    shell: Dielectric
+    inner_radius: float
+    outer_radius: float
+    name: str = ""
+
+    def __post_init__(self):
+        if not (0.0 < self.inner_radius < self.outer_radius):
+            raise ValueError(
+                "require 0 < inner_radius < outer_radius, got "
+                f"{self.inner_radius} and {self.outer_radius}"
+            )
+
+    def complex_permittivity(self, omega):
+        """Equivalent homogeneous complex permittivity at ``omega`` [rad/s]."""
+        eps_in = self.interior.complex_permittivity(omega)
+        eps_sh = self.shell.complex_permittivity(omega)
+        g3 = (self.outer_radius / self.inner_radius) ** 3
+        k_is = (eps_in - eps_sh) / (eps_in + 2.0 * eps_sh)
+        return eps_sh * (g3 + 2.0 * k_is) / (g3 - k_is)
+
+    @property
+    def radius(self) -> float:
+        """Outer (hydrodynamic) radius of the modelled cell [m]."""
+        return self.outer_radius
+
+
+def crossover_frequency(particle, medium, f_min=1e3, f_max=1e9, tolerance=1.0):
+    """First DEP crossover frequency of ``particle`` in ``medium`` [Hz].
+
+    Finds the lowest frequency in ``[f_min, f_max]`` where the real part
+    of the CM factor changes sign, by log-spaced scan followed by
+    bisection to the given absolute ``tolerance`` [Hz].  Returns ``None``
+    when the sign never changes in the range (particle is always-pDEP or
+    always-nDEP over the band).
+    """
+    freqs = np.logspace(math.log10(f_min), math.log10(f_max), 512)
+    values = real_cm(particle, medium, freqs)
+    signs = np.sign(values)
+    change = np.nonzero(np.diff(signs) != 0)[0]
+    if change.size == 0:
+        return None
+    lo, hi = freqs[change[0]], freqs[change[0] + 1]
+    f_lo = real_cm(particle, medium, lo)
+    while hi - lo > tolerance:
+        mid = math.sqrt(lo * hi)
+        f_mid = real_cm(particle, medium, mid)
+        if (f_lo < 0) == (f_mid < 0):
+            lo, f_lo = mid, f_mid
+        else:
+            hi = mid
+    return math.sqrt(lo * hi)
+
+
+def maxwell_garnett_mixture(inclusion, host, volume_fraction, omega):
+    """Effective complex permittivity of a dilute suspension.
+
+    Maxwell-Garnett mixing rule for spherical inclusions at volume
+    fraction ``phi``; used by the capacitive-sensing model to estimate
+    how much a particle perturbs the sensed capacitance.
+    """
+    if not 0.0 <= volume_fraction <= 1.0:
+        raise ValueError("volume fraction must be within [0, 1]")
+    eps_i = inclusion.complex_permittivity(omega)
+    eps_h = host.complex_permittivity(omega)
+    k = (eps_i - eps_h) / (eps_i + 2.0 * eps_h)
+    return eps_h * (1.0 + 2.0 * volume_fraction * k) / (1.0 - volume_fraction * k)

@@ -1,0 +1,181 @@
+"""Particle motion in the microchamber: drag, Brownian motion, transit times.
+
+Micro-scale particle dynamics are overdamped (Reynolds and Stokes
+numbers are tiny), so inertia is negligible and velocity is proportional
+to force through the Stokes drag coefficient.  This module provides the
+building blocks the rest of the library uses:
+
+* :func:`stokes_drag_coefficient`, :func:`terminal_velocity`
+* :func:`diffusion_coefficient` and Brownian displacement statistics
+* :class:`LangevinStepper` -- an overdamped Brownian-dynamics integrator
+  used by the chip simulator to move particles under DEP forces
+* :func:`transit_time` -- the "mass transfer is slow" numbers behind the
+  paper's claim C2 (electronics has *plenty of time*).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .constants import BOLTZMANN, GRAVITY, ROOM_TEMPERATURE, WATER_DENSITY, WATER_VISCOSITY
+
+
+def stokes_drag_coefficient(radius, viscosity=WATER_VISCOSITY):
+    """Stokes drag coefficient gamma = 6 pi eta R [N s/m]."""
+    if radius <= 0.0:
+        raise ValueError("radius must be positive")
+    return 6.0 * math.pi * viscosity * radius
+
+
+def terminal_velocity(force, radius, viscosity=WATER_VISCOSITY):
+    """Overdamped velocity v = F / gamma [m/s] for a given force [N]."""
+    return np.asarray(force) / stokes_drag_coefficient(radius, viscosity)
+
+
+def force_for_velocity(velocity, radius, viscosity=WATER_VISCOSITY):
+    """Force [N] needed to move a particle at ``velocity`` [m/s]."""
+    return np.asarray(velocity) * stokes_drag_coefficient(radius, viscosity)
+
+
+def sedimentation_velocity(
+    radius,
+    particle_density,
+    medium_density=WATER_DENSITY,
+    viscosity=WATER_VISCOSITY,
+):
+    """Settling velocity of a sphere under gravity [m/s] (positive = down)."""
+    volume = 4.0 / 3.0 * math.pi * radius**3
+    weight = volume * (particle_density - medium_density) * GRAVITY
+    return weight / stokes_drag_coefficient(radius, viscosity)
+
+
+def diffusion_coefficient(radius, temperature=ROOM_TEMPERATURE, viscosity=WATER_VISCOSITY):
+    """Stokes--Einstein diffusion coefficient D = kT / gamma [m^2/s]."""
+    return BOLTZMANN * temperature / stokes_drag_coefficient(radius, viscosity)
+
+
+def brownian_rms_displacement(radius, dt, temperature=ROOM_TEMPERATURE, viscosity=WATER_VISCOSITY):
+    """RMS one-dimensional Brownian displacement in time ``dt`` [m]."""
+    return math.sqrt(2.0 * diffusion_coefficient(radius, temperature, viscosity) * dt)
+
+
+def thermal_escape_ratio(trap_stiffness, radius, temperature=ROOM_TEMPERATURE):
+    """Ratio of trap depth scale to thermal energy (dimensionless).
+
+    For a harmonic trap of stiffness ``k`` the positional variance is
+    ``kT/k``; we report ``k * R^2 / kT`` -- how many kT the trap stores
+    at a displacement of one particle radius.  Values >> 1 mean Brownian
+    motion cannot shake the particle out of the cage.
+    """
+    return trap_stiffness * radius**2 / (BOLTZMANN * temperature)
+
+
+def transit_time(distance, speed):
+    """Time to cover ``distance`` at ``speed`` [s].
+
+    With the paper's numbers (pitch 20 um, DEP-driven speed 10-100 um/s)
+    a cell needs 0.2--2 s per electrode: this is the *mass transfer*
+    timescale that dwarfs electronic timescales (claim C2).
+    """
+    if speed <= 0.0:
+        raise ValueError("speed must be positive")
+    return distance / speed
+
+
+@dataclass
+class LangevinStepper:
+    """Overdamped Brownian-dynamics integrator.
+
+    Advances particle positions under a caller-supplied force field::
+
+        x(t+dt) = x(t) + F(x) dt / gamma + sqrt(2 D dt) xi
+
+    Parameters
+    ----------
+    radius:
+        Particle radius [m] (sets drag and diffusion).
+    viscosity, temperature:
+        Medium parameters.
+    rng:
+        numpy random Generator (deterministic when seeded).
+    """
+
+    radius: float
+    viscosity: float = WATER_VISCOSITY
+    temperature: float = ROOM_TEMPERATURE
+    rng: object = None
+
+    def __post_init__(self):
+        if self.rng is None:
+            self.rng = np.random.default_rng(0)
+        self._gamma = stokes_drag_coefficient(self.radius, self.viscosity)
+        self._diffusion = BOLTZMANN * self.temperature / self._gamma
+
+    @property
+    def drag_coefficient(self):
+        return self._gamma
+
+    @property
+    def diffusion(self):
+        return self._diffusion
+
+    def step(self, positions, force_fn, dt, brownian=True):
+        """One integration step.
+
+        Parameters
+        ----------
+        positions:
+            ndarray of shape (n, 3) [m].
+        force_fn:
+            callable mapping positions -> forces, same shape [N].
+        dt:
+            timestep [s].
+        brownian:
+            include the stochastic kick (disable for deterministic
+            trajectory tests).
+        """
+        positions = np.asarray(positions, dtype=float)
+        forces = np.asarray(force_fn(positions), dtype=float)
+        if forces.shape != positions.shape:
+            raise ValueError(
+                f"force shape {forces.shape} does not match positions {positions.shape}"
+            )
+        drift = forces * dt / self._gamma
+        new_positions = positions + drift
+        if brownian:
+            kick = self.rng.normal(
+                0.0, math.sqrt(2.0 * self._diffusion * dt), size=positions.shape
+            )
+            new_positions = new_positions + kick
+        return new_positions
+
+    def run(self, positions, force_fn, dt, steps, brownian=True, record=False):
+        """Integrate ``steps`` steps; optionally record the trajectory.
+
+        Returns the final positions, or the full trajectory array of
+        shape (steps+1, n, 3) when ``record`` is true.
+        """
+        positions = np.asarray(positions, dtype=float)
+        trajectory = [positions.copy()] if record else None
+        for _ in range(steps):
+            positions = self.step(positions, force_fn, dt, brownian=brownian)
+            if record:
+                trajectory.append(positions.copy())
+        if record:
+            return np.stack(trajectory)
+        return positions
+
+
+def max_stable_timestep(trap_stiffness, radius, viscosity=WATER_VISCOSITY, safety=0.2):
+    """Largest stable explicit timestep for a harmonic trap [s].
+
+    The overdamped explicit Euler scheme is stable for
+    ``dt < 2 gamma / k``; we return ``safety * gamma / k``.
+    """
+    if trap_stiffness <= 0.0:
+        raise ValueError("trap stiffness must be positive")
+    gamma = stokes_drag_coefficient(radius, viscosity)
+    return safety * gamma / trap_stiffness

@@ -1,0 +1,16 @@
+"""Cage routing CAD: A*, batch space-time router, greedy baseline, planner."""
+
+from .astar import (
+    MOVES_8,
+    WAIT,
+    ObstacleMap,
+    RoutingError,
+    astar_route,
+    chebyshev_heuristic,
+    path_moves,
+)
+from .greedy import GreedyRouter, make_requests
+from .multi import BatchPlan, BatchRouter, RoutingRequest
+from .planner import ExecutedStep, MotionPlanner
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,156 @@
+"""Single-cage A* routing on the electrode grid.
+
+A cage moves one electrode per actuation frame, in any of the eight
+directions (or waits).  Static obstacles are other cages' exclusion
+zones (their site inflated by the separation rule) plus any chip
+regions reserved by the scheduler.  This module provides the spatial
+A* used for isolated moves and as the cost-to-go heuristic of the
+space-time batch router.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..array.grid import ElectrodeGrid
+
+#: The eight king-move directions plus wait, in deterministic order.
+MOVES_8 = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+WAIT = (0, 0)
+
+
+class RoutingError(Exception):
+    """No route satisfying the constraints exists (or search aborted)."""
+
+
+@dataclass
+class ObstacleMap:
+    """Static blocked-site set with separation inflation.
+
+    Parameters
+    ----------
+    grid:
+        Array geometry.
+    blocked:
+        Iterable of (row, col) sites that are occupied.
+    separation:
+        Chebyshev radius around each blocked site that a routed cage
+        centre must not enter (the cage spacing rule).
+    """
+
+    grid: ElectrodeGrid
+    blocked: set = field(default_factory=set)
+    separation: int = 2
+
+    def __post_init__(self):
+        self.blocked = set(map(tuple, self.blocked))
+        self._inflated = set()
+        radius = self.separation - 1
+        for row, col in self.blocked:
+            for dr in range(-radius, radius + 1):
+                for dc in range(-radius, radius + 1):
+                    site = (row + dr, col + dc)
+                    if self.grid.in_bounds(*site):
+                        self._inflated.add(site)
+
+    def is_free(self, site) -> bool:
+        """Whether a cage centre may occupy ``site``."""
+        return self.grid.in_bounds(*site) and tuple(site) not in self._inflated
+
+    def free_neighbors(self, site):
+        """Free king-move successors of ``site`` (excludes waiting)."""
+        row, col = site
+        return [
+            (row + dr, col + dc)
+            for dr, dc in MOVES_8
+            if self.is_free((row + dr, col + dc))
+        ]
+
+
+def chebyshev_heuristic(a, b) -> int:
+    """Admissible cost-to-go for king moves: Chebyshev distance."""
+    return max(abs(a[0] - b[0]), abs(a[1] - b[1]))
+
+
+def astar_route(grid, start, goal, obstacles=None, max_expansions=200000):
+    """Shortest king-move path from ``start`` to ``goal``.
+
+    Parameters
+    ----------
+    grid:
+        :class:`~repro.array.grid.ElectrodeGrid`.
+    start, goal:
+        (row, col) sites.
+    obstacles:
+        Optional :class:`ObstacleMap`; ``start``/``goal`` must be free.
+    max_expansions:
+        Search budget; exceeding it raises :class:`RoutingError`.
+
+    Returns
+    -------
+    list of (row, col) sites from start to goal inclusive.  A trivial
+    route ``[start]`` is returned when start == goal.
+    """
+    start, goal = tuple(start), tuple(goal)
+    for site, label in ((start, "start"), (goal, "goal")):
+        if not grid.in_bounds(*site):
+            raise RoutingError(f"{label} {site} out of bounds")
+        if obstacles is not None and not obstacles.is_free(site):
+            raise RoutingError(f"{label} {site} blocked")
+    if start == goal:
+        return [start]
+
+    open_heap = [(chebyshev_heuristic(start, goal), 0, start)]
+    came_from = {}
+    g_score = {start: 0}
+    expansions = 0
+    while open_heap:
+        __, g, current = heapq.heappop(open_heap)
+        if g > g_score.get(current, float("inf")):
+            continue
+        if current == goal:
+            return _reconstruct(came_from, current)
+        expansions += 1
+        if expansions > max_expansions:
+            raise RoutingError("A* expansion budget exhausted")
+        if obstacles is not None:
+            successors = obstacles.free_neighbors(current)
+        else:
+            successors = [
+                (current[0] + dr, current[1] + dc)
+                for dr, dc in MOVES_8
+                if grid.in_bounds(current[0] + dr, current[1] + dc)
+            ]
+        for nxt in successors:
+            tentative = g + 1
+            if tentative < g_score.get(nxt, float("inf")):
+                g_score[nxt] = tentative
+                came_from[nxt] = current
+                priority = tentative + chebyshev_heuristic(nxt, goal)
+                heapq.heappush(open_heap, (priority, tentative, nxt))
+    raise RoutingError(f"no route from {start} to {goal}")
+
+
+def _reconstruct(came_from, end):
+    path = [end]
+    while end in came_from:
+        end = came_from[end]
+        path.append(end)
+    path.reverse()
+    return path
+
+
+def path_moves(path):
+    """Per-step (drow, dcol) deltas of a site path (length len(path)-1)."""
+    moves = []
+    for a, b in zip(path, path[1:]):
+        delta = (b[0] - a[0], b[1] - a[1])
+        if max(abs(delta[0]), abs(delta[1])) > 1:
+            raise ValueError(f"non-adjacent step {a} -> {b} in path")
+        moves.append(delta)
+    return moves

@@ -1,0 +1,100 @@
+"""Greedy baseline router (the comparator for experiment X1).
+
+Each frame, every cage takes the king move that most reduces its
+Chebyshev distance to goal, *if* that move keeps the post-move
+configuration separation-legal; otherwise it waits.  No lookahead, no
+reservations -- the natural first implementation, and the one that
+livelocks in congestion, which is exactly the gap the batch router
+closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..array.grid import ElectrodeGrid
+from .astar import MOVES_8, chebyshev_heuristic
+from .multi import BatchPlan, RoutingRequest
+
+
+@dataclass
+class GreedyRouter:
+    """One-step-lookahead router with no coordination.
+
+    Parameters
+    ----------
+    grid, min_separation:
+        As for :class:`~repro.routing.multi.BatchRouter`.
+    max_steps:
+        Give-up horizon; cages not at goal by then count as failed.
+    """
+
+    grid: ElectrodeGrid
+    min_separation: int = 2
+    max_steps: int = 500
+
+    def plan(self, requests):
+        """Simulate greedy motion; returns (BatchPlan, failed_ids).
+
+        The returned plan is always separation-legal frame by frame;
+        failure shows up as cages still short of their goals at the
+        horizon (listed in ``failed_ids``), not as collisions.
+        """
+        requests = list(requests)
+        positions = {r.cage_id: tuple(r.start) for r in requests}
+        goals = {r.cage_id: tuple(r.goal) for r in requests}
+        paths = {r.cage_id: [tuple(r.start)] for r in requests}
+        order = sorted(positions)  # deterministic cage processing order
+
+        for _ in range(self.max_steps):
+            if all(positions[c] == goals[c] for c in order):
+                break
+            next_positions = dict(positions)
+            for cage_id in order:
+                current = next_positions[cage_id]
+                goal = goals[cage_id]
+                if current == goal:
+                    continue
+                best = None
+                best_distance = chebyshev_heuristic(current, goal)
+                for dr, dc in MOVES_8:
+                    candidate = (current[0] + dr, current[1] + dc)
+                    if not self.grid.in_bounds(*candidate):
+                        continue
+                    distance = chebyshev_heuristic(candidate, goal)
+                    if distance >= best_distance:
+                        continue
+                    if self._legal(candidate, cage_id, next_positions):
+                        best, best_distance = candidate, distance
+                if best is not None:
+                    next_positions[cage_id] = best
+            positions = next_positions
+            for cage_id in order:
+                paths[cage_id].append(positions[cage_id])
+
+        makespan = max((len(p) - 1 for p in paths.values()), default=0)
+        for cage_id in order:
+            paths[cage_id] += [paths[cage_id][-1]] * (
+                makespan - (len(paths[cage_id]) - 1)
+            )
+        failed = [c for c in order if positions[c] != goals[c]]
+        return BatchPlan(paths=paths, makespan=makespan), failed
+
+    def _legal(self, candidate, cage_id, positions):
+        for other_id, site in positions.items():
+            if other_id == cage_id:
+                continue
+            if (
+                max(abs(site[0] - candidate[0]), abs(site[1] - candidate[1]))
+                < self.min_separation
+            ):
+                return False
+        return True
+
+
+def make_requests(pairs):
+    """Build RoutingRequests from (start, goal) pairs with serial ids."""
+    return [
+        RoutingRequest(cage_id=i, start=start, goal=goal)
+        for i, (start, goal) in enumerate(pairs)
+    ]

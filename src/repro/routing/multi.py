@@ -1,0 +1,259 @@
+"""Concurrent multi-cage routing: prioritised space-time A*.
+
+Moving many cages at once is the platform's whole point ("tens of
+thousands of DEP cages ... shifted, dragging along the trapped
+particles"), and it is a multi-agent path-finding problem with a
+domain-specific constraint: cage *centres* must stay ``min_separation``
+electrodes apart at every intermediate frame, or the field minima merge
+and particles are lost.
+
+:class:`BatchRouter` plans each cage in priority order through a
+space-time reservation table (the standard prioritised-planning MAPF
+scheme, with waits allowed), guaranteeing a conflict-free synchronous
+plan when it succeeds.  The greedy baseline in
+:mod:`repro.routing.greedy` shows why planning is needed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..array.grid import ElectrodeGrid
+from .astar import MOVES_8, WAIT, RoutingError, chebyshev_heuristic
+
+
+@dataclass
+class RoutingRequest:
+    """One cage's routing job: from ``start`` to ``goal``."""
+
+    cage_id: int
+    start: tuple
+    goal: tuple
+
+    def __post_init__(self):
+        self.start = tuple(self.start)
+        self.goal = tuple(self.goal)
+
+
+@dataclass
+class BatchPlan:
+    """A synchronous conflict-free plan for a batch of cages.
+
+    ``paths`` maps cage_id -> list of sites of uniform length
+    ``makespan + 1`` (cages that arrive early hold their goal).
+    """
+
+    paths: dict
+    makespan: int
+    expansions: int = 0
+
+    def moves_at(self, step):
+        """Move dict {cage_id: (drow, dcol)} for frame ``step`` (0-based)."""
+        if not 0 <= step < self.makespan:
+            raise IndexError("step outside plan horizon")
+        moves = {}
+        for cage_id, path in self.paths.items():
+            a, b = path[step], path[step + 1]
+            delta = (b[0] - a[0], b[1] - a[1])
+            if delta != WAIT:
+                moves[cage_id] = delta
+        return moves
+
+    def total_moves(self) -> int:
+        """Total non-wait single-cage moves in the plan."""
+        count = 0
+        for path in self.paths.values():
+            count += sum(1 for a, b in zip(path, path[1:]) if a != b)
+        return count
+
+
+class _ReservationTable:
+    """Space-time occupancy with separation semantics.
+
+    For each timestep we keep the set of sites committed by already
+    planned cages; a candidate site conflicts when it comes within
+    ``separation`` (Chebyshev) of any reserved site at the same step,
+    or crosses another cage's edge in the swap sense.
+    """
+
+    def __init__(self, separation):
+        self.separation = separation
+        self._sites = {}  # t -> list[(site, cage_id)]
+        self._edges = {}  # t -> set[(from, to)]
+        self._parked = []  # (site, from_t, cage_id): holds site forever after from_t
+
+    def reserve_path(self, cage_id, path):
+        for t, site in enumerate(path):
+            self._sites.setdefault(t, []).append((site, cage_id))
+        for t, (a, b) in enumerate(zip(path, path[1:])):
+            self._edges.setdefault(t, set()).add((a, b))
+        self._parked.append((path[-1], len(path) - 1, cage_id))
+
+    def site_free(self, site, t) -> bool:
+        for other, __ in self._sites.get(t, ()):  # same-time proximity
+            if (
+                max(abs(other[0] - site[0]), abs(other[1] - site[1]))
+                < self.separation
+            ):
+                return False
+        for parked_site, from_t, __ in self._parked:
+            if t >= from_t and (
+                max(abs(parked_site[0] - site[0]), abs(parked_site[1] - site[1]))
+                < self.separation
+            ):
+                return False
+        return True
+
+    def edge_free(self, a, b, t) -> bool:
+        """Reject swap/through conflicts: nobody may traverse b->a at t."""
+        return (b, a) not in self._edges.get(t, set())
+
+    def latest_parked_time(self) -> int:
+        return max((from_t for __, from_t, __ in self._parked), default=0)
+
+
+@dataclass
+class BatchRouter:
+    """Prioritised space-time router for simultaneous cage motion.
+
+    Parameters
+    ----------
+    grid:
+        Array geometry.
+    min_separation:
+        Cage-centre spacing rule (match the
+        :class:`~repro.array.cages.CageManager`).
+    horizon_slack:
+        Extra timesteps allowed beyond the lower-bound makespan before a
+        cage's search is declared failed.
+    max_expansions:
+        Per-cage space-time A* expansion budget.
+    """
+
+    grid: ElectrodeGrid
+    min_separation: int = 2
+    horizon_slack: int = 40
+    max_expansions: int = 400000
+
+    def plan(self, requests, priority=None):
+        """Plan all requests; returns a :class:`BatchPlan`.
+
+        Parameters
+        ----------
+        requests:
+            List of :class:`RoutingRequest`; starts must be mutually
+            separation-legal (they come from a live
+            :class:`~repro.array.cages.CageManager` so they are), and
+            goals must be pairwise separation-legal too.
+        priority:
+            Optional ordering key over requests; default plans longer
+            jobs first (they are the hardest to fit).
+
+        Raises
+        ------
+        RoutingError
+            When any cage cannot reach its goal within the horizon.
+        """
+        requests = list(requests)
+        self._validate(requests)
+        if priority is None:
+            def priority(req):
+                return -chebyshev_heuristic(req.start, req.goal)
+        ordered = sorted(requests, key=priority)
+        table = _ReservationTable(self.min_separation)
+        horizon = (
+            max(
+                (chebyshev_heuristic(r.start, r.goal) for r in requests),
+                default=0,
+            )
+            + self.horizon_slack
+        )
+        paths = {}
+        expansions_total = 0
+        for request in ordered:
+            path, expansions = self._route_one(request, table, horizon)
+            expansions_total += expansions
+            table.reserve_path(request.cage_id, path)
+            paths[request.cage_id] = path
+        makespan = max((len(p) - 1 for p in paths.values()), default=0)
+        for cage_id, path in paths.items():
+            paths[cage_id] = path + [path[-1]] * (makespan - (len(path) - 1))
+        return BatchPlan(paths=paths, makespan=makespan, expansions=expansions_total)
+
+    def _validate(self, requests):
+        seen = set()
+        for request in requests:
+            if request.cage_id in seen:
+                raise RoutingError(f"duplicate cage id {request.cage_id}")
+            seen.add(request.cage_id)
+            for site, label in ((request.start, "start"), (request.goal, "goal")):
+                if not self.grid.in_bounds(*site):
+                    raise RoutingError(
+                        f"cage {request.cage_id} {label} {site} out of bounds"
+                    )
+        for sites, label in (
+            ([r.start for r in requests], "starts"),
+            ([r.goal for r in requests], "goals"),
+        ):
+            for i, a in enumerate(sites):
+                for b in sites[i + 1 :]:
+                    if max(abs(a[0] - b[0]), abs(a[1] - b[1])) < self.min_separation:
+                        raise RoutingError(f"{label} {a} and {b} violate separation")
+
+    def _route_one(self, request, table, horizon):
+        """Space-time A* for one cage against the reservation table."""
+        start, goal = request.start, request.goal
+        # State: (site, t).  A cage may arrive and park only if the goal
+        # stays conflict-free afterwards; we approximate by requiring the
+        # goal to be free at arrival and at the table's latest parked
+        # time (after which nothing reserved moves any more).
+        settle_time = table.latest_parked_time()
+
+        def arrival_ok(t):
+            check = max(t, settle_time)
+            return all(table.site_free(goal, tt) for tt in range(t, check + 1))
+
+        open_heap = [(chebyshev_heuristic(start, goal), 0, start)]
+        g_best = {(start, 0): 0}
+        came_from = {}
+        expansions = 0
+        while open_heap:
+            __, t, site = heapq.heappop(open_heap)
+            if g_best.get((site, t), float("inf")) < t:
+                continue
+            if site == goal and arrival_ok(t):
+                return self._reconstruct(came_from, (site, t)), expansions
+            if t >= horizon:
+                continue
+            expansions += 1
+            if expansions > self.max_expansions:
+                raise RoutingError(
+                    f"cage {request.cage_id}: space-time search budget exhausted"
+                )
+            for dr, dc in MOVES_8 + (WAIT,):
+                nxt = (site[0] + dr, site[1] + dc)
+                if not self.grid.in_bounds(*nxt):
+                    continue
+                nt = t + 1
+                if not table.site_free(nxt, nt):
+                    continue
+                if not table.edge_free(site, nxt, t):
+                    continue
+                if nt < g_best.get((nxt, nt), float("inf")):
+                    g_best[(nxt, nt)] = nt
+                    came_from[(nxt, nt)] = (site, t)
+                    priority = nt + chebyshev_heuristic(nxt, goal)
+                    heapq.heappush(open_heap, (priority, nt, nxt))
+        raise RoutingError(
+            f"cage {request.cage_id}: no conflict-free route within horizon {horizon}"
+        )
+
+    @staticmethod
+    def _reconstruct(came_from, state):
+        path = [state[0]]
+        while state in came_from:
+            state = came_from[state]
+            path.append(state[0])
+        path.reverse()
+        return path

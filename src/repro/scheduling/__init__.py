@@ -1,0 +1,7 @@
+"""Assay scheduling CAD: task graphs, binding, list/FCFS schedulers."""
+
+from .binder import Binder, BindingError, Resource, default_chip_resources
+from .schedulers import FcfsScheduler, ListScheduler, Schedule, ScheduledOp
+from .taskgraph import AssayGraph, DurationModel, Operation, OpType
+
+__all__ = [name for name in dir() if not name.startswith("_")]

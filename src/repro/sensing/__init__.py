@@ -1,0 +1,31 @@
+"""Per-pixel sensing: transducers, readout chain, averaging, detection."""
+
+from .averaging import (
+    averaging_budget,
+    block_average,
+    effective_bits_gain,
+    empirical_noise_vs_averaging,
+    moving_average,
+)
+from .calibration import CalibrationTable, FixedPatternModel, calibrate, residual_fpn
+from .capacitive import CapacitiveSensor
+from .detection import (
+    ConfusionMatrix,
+    ThresholdDetector,
+    centroid_localisation,
+    detection_probability,
+    evaluate_detector,
+    q_function,
+    roc_curve,
+    threshold_for_false_alarm,
+)
+from .optical import OpticalSensor
+from .readout import AnalogToDigital, CapacitiveReadoutChain, ChargeAmplifier
+from .spectroscopy import (
+    SpectrumClassifier,
+    cm_spectrum,
+    discriminating_frequencies,
+    measure_spectrum,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

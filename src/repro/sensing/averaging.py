@@ -1,0 +1,98 @@
+"""Averaging and oversampling utilities (paper claim C3).
+
+"There is room to exploit this creatively ... e.g. averaging sensors
+output for thermal noise reduction": because cells take ~1 s to move one
+pitch while a sensor sample takes microseconds, thousands of samples per
+pixel fit into every motion step.  These helpers quantify what that buys.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def block_average(samples, block_size):
+    """Average consecutive blocks of ``block_size`` samples.
+
+    Trailing samples that do not fill a block are dropped.  Returns an
+    array of block means.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if block_size < 1:
+        raise ValueError("block size must be >= 1")
+    n_blocks = samples.size // block_size
+    if n_blocks == 0:
+        return np.empty(0)
+    trimmed = samples[: n_blocks * block_size]
+    return trimmed.reshape(n_blocks, block_size).mean(axis=1)
+
+
+def moving_average(samples, window):
+    """Simple moving average with a rectangular window (valid mode)."""
+    samples = np.asarray(samples, dtype=float)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if samples.size < window:
+        return np.empty(0)
+    kernel = np.ones(window) / window
+    return np.convolve(samples, kernel, mode="valid")
+
+
+def empirical_noise_vs_averaging(noise_source, max_block, n_samples=None, rng=None):
+    """Measured RMS of block means vs block size.
+
+    Parameters
+    ----------
+    noise_source:
+        Either a callable ``n -> samples`` or an object with
+        ``sample(n)`` (e.g. :class:`~repro.physics.noise.NoiseGenerator`).
+    max_block:
+        Largest block size probed; block sizes are powers of two up to
+        this value.
+    n_samples:
+        Total samples drawn (default: enough for 64 blocks at max size).
+
+    Returns
+    -------
+    list of (block_size, rms_of_block_means)
+    """
+    sample = noise_source.sample if hasattr(noise_source, "sample") else noise_source
+    if max_block < 1:
+        raise ValueError("max_block must be >= 1")
+    if n_samples is None:
+        n_samples = 64 * max_block
+    data = np.asarray(sample(n_samples), dtype=float)
+    results = []
+    block = 1
+    while block <= max_block:
+        means = block_average(data, block)
+        if means.size < 2:
+            break
+        results.append((block, float(np.std(means))))
+        block *= 2
+    return results
+
+
+def effective_bits_gain(n_samples) -> float:
+    """Extra effective resolution bits from averaging N white-noise samples.
+
+    0.5 bit per doubling: log2(N)/2.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    return 0.5 * math.log2(n_samples)
+
+
+def averaging_budget(pitch_transit_time, sample_time, duty=0.5) -> int:
+    """Samples per pixel available during one cage motion step.
+
+    ``duty`` reserves part of the step for actuation reprogramming and
+    other pixels' readout slots.
+    """
+    if sample_time <= 0.0:
+        raise ValueError("sample time must be positive")
+    if not 0.0 < duty <= 1.0:
+        raise ValueError("duty must be in (0, 1]")
+    return max(1, int(duty * pitch_transit_time / sample_time))

@@ -1,0 +1,18 @@
+"""CMOS technology node library and node-selection optimizer (claim C1)."""
+
+from .nodes import (
+    NODES_BY_NAME,
+    PAPER_NODE,
+    STANDARD_NODES,
+    TechnologyNode,
+    get_node,
+)
+from .selection import (
+    ApplicationRequirements,
+    NodeEvaluation,
+    TechnologySelector,
+    evaluate_node,
+    figure_of_merit,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,127 @@
+"""CMOS technology node library.
+
+The paper's first consideration: *older generation technologies may best
+fit your purpose*.  Two facts drive it:
+
+1. the DEP actuation force scales with the *square* of the drive voltage,
+   and maximum supply voltage shrinks with every node;
+2. the electrode pitch is set by *biology* (cell diameter 20-30 um), so
+   the density advantage of a newer node buys nothing once the pitch
+   saturates -- while its wafer cost is higher.
+
+This module encodes a representative node table (feature size, nominal
+core supply, available high-voltage I/O supply, wafer/mask cost,
+transistor density) for the planar-CMOS generations around the paper's
+era plus newer ones for contrast.  Values are typical-of-class figures
+from public process summaries -- the *trend* (voltage and cost vs node)
+is what the reproduction needs, and the trend is robust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """One CMOS process generation.
+
+    Parameters
+    ----------
+    name:
+        Conventional node label ("0.35um", "90nm", ...).
+    feature_size:
+        Drawn feature size [m].
+    core_voltage:
+        Nominal core supply [V].
+    io_voltage:
+        Thick-oxide I/O device supply [V] -- the realistic upper bound
+        for electrode drive without special HV options.
+    mask_set_cost:
+        Full mask-set cost [EUR] (order-of-magnitude class values).
+    wafer_cost:
+        Processed 200 mm-equivalent wafer cost [EUR].
+    min_electrode_pitch:
+        Smallest practical actuation-pixel pitch [m]: the pixel needs an
+        SRAM latch, level shifter and sensor front-end under the
+        electrode, so it is dozens of transistor pitches across.
+    sram_cell_area:
+        6T SRAM cell area [m^2], a proxy for logic density under the pixel.
+    year:
+        Approximate year of volume introduction (for reporting).
+    """
+
+    name: str
+    feature_size: float
+    core_voltage: float
+    io_voltage: float
+    mask_set_cost: float
+    wafer_cost: float
+    min_electrode_pitch: float
+    sram_cell_area: float
+    year: int
+
+    def __post_init__(self):
+        if self.feature_size <= 0 or self.core_voltage <= 0 or self.io_voltage <= 0:
+            raise ValueError("node physical parameters must be positive")
+        if self.io_voltage < self.core_voltage:
+            raise ValueError("I/O voltage cannot be below core voltage")
+
+    @property
+    def max_drive_voltage(self) -> float:
+        """Best available electrode drive amplitude [V]."""
+        return self.io_voltage
+
+    def cost_per_mm2(self, wafer_diameter=0.2) -> float:
+        """Silicon cost [EUR/mm^2] at the node's wafer cost."""
+        import math
+
+        wafer_area_mm2 = math.pi * (wafer_diameter * 1e3 / 2.0) ** 2
+        return self.wafer_cost / wafer_area_mm2
+
+
+def _node(name, feat_um, vcore, vio, masks_keur, wafer_eur, pitch_um, sram_um2, year):
+    return TechnologyNode(
+        name=name,
+        feature_size=feat_um * 1e-6,
+        core_voltage=vcore,
+        io_voltage=vio,
+        mask_set_cost=masks_keur * 1e3,
+        wafer_cost=wafer_eur,
+        min_electrode_pitch=pitch_um * 1e-6,
+        sram_cell_area=sram_um2 * 1e-12,
+        year=year,
+    )
+
+
+#: Representative planar-CMOS node table, oldest to newest.
+STANDARD_NODES = [
+    _node("2.0um", 2.0, 5.0, 5.0, 15, 600, 40.0, 400.0, 1985),
+    _node("1.2um", 1.2, 5.0, 5.0, 25, 700, 28.0, 150.0, 1988),
+    _node("0.8um", 0.8, 5.0, 5.0, 40, 800, 20.0, 70.0, 1991),
+    _node("0.6um", 0.6, 5.0, 5.0, 60, 900, 16.0, 40.0, 1994),
+    _node("0.35um", 0.35, 3.3, 5.0, 100, 1100, 12.0, 15.0, 1996),
+    _node("0.25um", 0.25, 2.5, 3.3, 180, 1400, 10.0, 7.0, 1998),
+    _node("0.18um", 0.18, 1.8, 3.3, 350, 1800, 8.0, 4.5, 2000),
+    _node("0.13um", 0.13, 1.2, 2.5, 700, 2500, 7.0, 2.4, 2002),
+    _node("90nm", 0.09, 1.0, 2.5, 1200, 3500, 6.0, 1.0, 2004),
+    _node("65nm", 0.065, 1.0, 1.8, 2000, 4500, 5.0, 0.5, 2006),
+]
+
+#: Lookup by name.
+NODES_BY_NAME = {node.name: node for node in STANDARD_NODES}
+
+
+def get_node(name) -> TechnologyNode:
+    """Fetch a standard node by label, raising a helpful error if unknown."""
+    try:
+        return NODES_BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown technology node {name!r}; known: {sorted(NODES_BY_NAME)}"
+        ) from None
+
+
+#: The node class of the paper's fabricated chip (JSSC 2003): 0.35 um
+#: HCMOS with 3.3 V core and 5 V-capable I/O devices.
+PAPER_NODE = NODES_BY_NAME["0.35um"]

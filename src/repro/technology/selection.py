@@ -1,0 +1,155 @@
+"""Technology-node selection for DEP biochips (paper claim C1).
+
+Quantifies "older generation technologies may best fit your purpose":
+for each candidate node we evaluate, at the biology-imposed electrode
+pitch,
+
+* the achievable DEP holding force (∝ V_drive², V from the node),
+* the trap robustness against Brownian escape and against the drag of
+  the target manipulation speed,
+* the die cost for the required array size,
+* whether the node can even meet the pitch (all can, for cell-scale
+  pitches -- that is the point: density is not the binding constraint).
+
+and combine them into a transparent figure of merit.  The expected shape
+(reproduced by ``benchmarks/bench_technology.py``) is that the FOM peaks
+at a mid-1990s node class, not at the newest one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..physics.constants import BOLTZMANN, ROOM_TEMPERATURE, WATER_VISCOSITY, EPSILON_0
+from ..physics.dep import dep_force_scale
+from ..physics.motion import stokes_drag_coefficient
+from .nodes import STANDARD_NODES, TechnologyNode
+
+
+@dataclass(frozen=True)
+class ApplicationRequirements:
+    """What the biology asks of the chip.
+
+    Parameters
+    ----------
+    cell_radius:
+        Target particle radius [m].
+    electrode_pitch:
+        Array pitch [m]; per the paper it is set by cell size, typically
+        ~= cell diameter.
+    target_speed:
+        Required manipulation speed [m/s] (paper: 10-100 um/s).
+    array_side:
+        Electrodes per side (e.g. 320 -> 102,400 electrodes).
+    cm_magnitude:
+        |Re K| used for force sizing (0.4 is a conservative nDEP value).
+    """
+
+    cell_radius: float
+    electrode_pitch: float
+    target_speed: float
+    array_side: int = 320
+    cm_magnitude: float = 0.4
+
+    def __post_init__(self):
+        if self.electrode_pitch < 2.0 * self.cell_radius * 0.5:
+            # pitch smaller than the cell radius makes no physical sense
+            pass
+        if self.array_side < 1:
+            raise ValueError("array_side must be >= 1")
+
+
+@dataclass
+class NodeEvaluation:
+    """Evaluation of one node against one application."""
+
+    node: TechnologyNode
+    feasible_pitch: bool
+    drive_voltage: float
+    dep_force: float  # characteristic holding force [N]
+    drag_force: float  # force needed at target speed [N]
+    speed_margin: float  # dep_force / drag_force
+    thermal_margin: float  # trap energy scale / kT
+    die_area: float  # [m^2]
+    die_cost: float  # [EUR]
+    figure_of_merit: float = 0.0
+
+    @property
+    def meets_requirements(self) -> bool:
+        """Feasible pitch and enough force to hit the target speed."""
+        return self.feasible_pitch and self.speed_margin >= 1.0
+
+
+def evaluate_node(node, requirements, viscosity=WATER_VISCOSITY):
+    """Evaluate a single technology node for the given application."""
+    req = requirements
+    voltage = node.max_drive_voltage
+    force = dep_force_scale(
+        req.cell_radius, voltage, req.electrode_pitch, cm=req.cm_magnitude
+    )
+    drag = stokes_drag_coefficient(req.cell_radius, viscosity) * req.target_speed
+    # Trap energy scale: force * displacement-of-one-radius, vs kT.
+    thermal_margin = force * req.cell_radius / (BOLTZMANN * ROOM_TEMPERATURE)
+    area = (req.array_side * req.electrode_pitch) ** 2
+    cost = area * 1e6 * node.cost_per_mm2()
+    return NodeEvaluation(
+        node=node,
+        feasible_pitch=node.min_electrode_pitch <= req.electrode_pitch,
+        drive_voltage=voltage,
+        dep_force=force,
+        drag_force=drag,
+        speed_margin=force / drag,
+        thermal_margin=thermal_margin,
+        die_area=area,
+        die_cost=cost,
+    )
+
+
+def figure_of_merit(evaluation, cost_weight=1.0):
+    """Scalar FOM: actuation capability per unit cost.
+
+    ``log(speed_margin) / (cost in kEUR)**cost_weight`` for feasible
+    nodes with margin > 1; zero otherwise.  Logarithmic in margin
+    because once the cage holds the cell at speed, extra margin has
+    diminishing value; linear in cost because money is money.
+    """
+    if not evaluation.meets_requirements:
+        return 0.0
+    cost_keur = max(evaluation.die_cost, 1.0) / 1e3
+    nre_keur = evaluation.node.mask_set_cost / 1e3
+    return math.log(evaluation.speed_margin) / (cost_keur + 0.01 * nre_keur) ** cost_weight
+
+
+@dataclass
+class TechnologySelector:
+    """Sweep the node library and rank nodes for an application."""
+
+    requirements: ApplicationRequirements
+    nodes: list = field(default_factory=lambda: list(STANDARD_NODES))
+    cost_weight: float = 1.0
+
+    def evaluate_all(self):
+        """Evaluate every node; returns list ordered as self.nodes."""
+        evaluations = []
+        for node in self.nodes:
+            evaluation = evaluate_node(node, self.requirements)
+            evaluation.figure_of_merit = figure_of_merit(evaluation, self.cost_weight)
+            evaluations.append(evaluation)
+        return evaluations
+
+    def best(self):
+        """The node evaluation with the highest figure of merit.
+
+        Raises ``ValueError`` when no node meets the requirements.
+        """
+        evaluations = [e for e in self.evaluate_all() if e.meets_requirements]
+        if not evaluations:
+            raise ValueError("no technology node meets the requirements")
+        return max(evaluations, key=lambda e: e.figure_of_merit)
+
+    def force_vs_node(self):
+        """(node name, drive voltage, DEP force) tuples -- the V^2 curve."""
+        return [
+            (e.node.name, e.drive_voltage, e.dep_force) for e in self.evaluate_all()
+        ]

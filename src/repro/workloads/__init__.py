@@ -1,0 +1,10 @@
+"""Synthetic workload generators: assay graphs and routing traffic."""
+
+from .assays import cell_chain, random_assay, serial_assay, wide_assay
+from .sorting import (
+    hotspot_workload,
+    random_permutation_workload,
+    split_sort_workload,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,99 @@
+"""Sorting/routing workload generators for the platform-scale experiments.
+
+Produces the (start, goal) batches the routers are benchmarked on:
+random permutation traffic, region-to-region sorting (separate
+population A to the left bank, B to the right -- the canonical
+viability-sort pattern), and congestion hot-spots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..routing.multi import RoutingRequest
+
+
+def _lattice_sites(grid, separation, rng=None, count=None, region=None):
+    """Separation-legal lattice sites, optionally sampled/clipped."""
+    rows = range(0, grid.rows, separation)
+    cols = range(0, grid.cols, separation)
+    sites = [(r, c) for r in rows for c in cols]
+    if region is not None:
+        r0, r1, c0, c1 = region
+        sites = [(r, c) for r, c in sites if r0 <= r <= r1 and c0 <= c <= c1]
+    if count is not None:
+        if count > len(sites):
+            raise ValueError(f"requested {count} sites, only {len(sites)} available")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        index = rng.choice(len(sites), size=count, replace=False)
+        sites = [sites[i] for i in sorted(index)]
+    return sites
+
+
+def random_permutation_workload(grid, n_cages, separation=2, seed=0):
+    """``n_cages`` cages at random lattice sites, goals a random
+    permutation of another random site set."""
+    rng = np.random.default_rng(seed)
+    starts = _lattice_sites(grid, separation, rng, count=n_cages)
+    goals = _lattice_sites(grid, separation, rng, count=n_cages)
+    rng.shuffle(goals)
+    return [
+        RoutingRequest(cage_id=i, start=s, goal=g)
+        for i, (s, g) in enumerate(zip(starts, goals))
+    ]
+
+
+def split_sort_workload(grid, n_per_class, separation=2, seed=0):
+    """Two interleaved populations sorted to opposite banks.
+
+    Starts are random lattice sites anywhere; class-0 goals fill the
+    left third, class-1 goals the right third -- the viability-sort /
+    rare-cell layout.  Returns (requests, labels).
+    """
+    rng = np.random.default_rng(seed)
+    total = 2 * n_per_class
+    starts = _lattice_sites(grid, separation, rng, count=total)
+    third = grid.cols // 3
+    left_goals = _lattice_sites(
+        grid, separation, rng, count=n_per_class, region=(0, grid.rows - 1, 0, third - 1)
+    )
+    right_goals = _lattice_sites(
+        grid,
+        separation,
+        rng,
+        count=n_per_class,
+        region=(0, grid.rows - 1, grid.cols - third, grid.cols - 1),
+    )
+    labels = [0] * n_per_class + [1] * n_per_class
+    order = rng.permutation(total)
+    requests = []
+    goals = left_goals + right_goals
+    for new_id, original in enumerate(order):
+        requests.append(
+            RoutingRequest(
+                cage_id=new_id, start=starts[new_id], goal=goals[original]
+            )
+        )
+    shuffled_labels = [labels[original] for original in order]
+    return requests, shuffled_labels
+
+
+def hotspot_workload(grid, n_cages, separation=2, seed=0):
+    """Everything converges on one small central region -- worst-case
+    congestion for uncoordinated routers."""
+    rng = np.random.default_rng(seed)
+    starts = _lattice_sites(grid, separation, rng, count=n_cages)
+    cr, cc = grid.rows // 2, grid.cols // 2
+    span = separation * int(np.ceil(np.sqrt(n_cages))) + separation
+    region = (
+        max(0, cr - span),
+        min(grid.rows - 1, cr + span),
+        max(0, cc - span),
+        min(grid.cols - 1, cc + span),
+    )
+    goals = _lattice_sites(grid, separation, rng, count=n_cages, region=region)
+    return [
+        RoutingRequest(cage_id=i, start=s, goal=g)
+        for i, (s, g) in enumerate(zip(starts, goals))
+    ]

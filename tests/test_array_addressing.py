@@ -1,0 +1,145 @@
+"""Unit tests for addressing timing and pixel design (claim C2 pieces)."""
+
+import pytest
+
+from repro.array import (
+    ElectrodeGrid,
+    PixelDesign,
+    RowColumnAddresser,
+    TimingBudget,
+    cage_frame,
+    paper_grid,
+)
+from repro.physics.constants import um, um_per_s
+from repro.technology import PAPER_NODE, get_node
+
+
+class TestRowColumnAddresser:
+    def make(self, rows=320, cols=320):
+        return RowColumnAddresser(ElectrodeGrid(rows, cols, um(20)))
+
+    def test_frame_program_time_sub_millisecond(self):
+        """Programming all 102,400 pixels takes well under 1 ms at
+        10 MHz with a 32-bit bus -- the electronics is 'fast'."""
+        addresser = self.make()
+        assert addresser.frame_program_time() < 1e-3
+
+    def test_frame_scan_slower_than_program(self):
+        addresser = self.make()
+        assert addresser.frame_scan_time() > addresser.frame_program_time()
+
+    def test_incremental_cheaper_than_full(self):
+        grid = ElectrodeGrid(64, 64, um(20))
+        addresser = RowColumnAddresser(grid)
+        old = cage_frame(grid, [(10, 10)])
+        new = cage_frame(grid, [(11, 10)])
+        assert addresser.incremental_program_time(old, new) < addresser.frame_program_time()
+
+    def test_incremental_counts_dirty_rows(self):
+        grid = ElectrodeGrid(64, 64, um(20))
+        addresser = RowColumnAddresser(grid)
+        old = cage_frame(grid, [(10, 10)])
+        new = cage_frame(grid, [(11, 10)])  # rows 10 and 11 change
+        assert addresser.incremental_program_time(old, new) == pytest.approx(
+            2 * addresser.row_write_time()
+        )
+
+    def test_identical_frames_cost_nothing(self):
+        grid = ElectrodeGrid(32, 32, um(20))
+        addresser = RowColumnAddresser(grid)
+        frame = cage_frame(grid, [(5, 5)])
+        assert addresser.incremental_program_time(frame, frame.copy()) == 0.0
+
+    def test_region_scan_time_linear(self):
+        addresser = self.make()
+        assert addresser.region_scan_time(10) == pytest.approx(
+            10 * addresser.row_scan_time()
+        )
+
+    def test_region_scan_bounds(self):
+        with pytest.raises(ValueError):
+            self.make().region_scan_time(321)
+
+    def test_scans_within_budget(self):
+        addresser = self.make()
+        one_second = addresser.scans_within(1.0)
+        assert one_second == int(1.0 / addresser.frame_scan_time())
+
+    def test_max_frame_rate_positive(self):
+        assert self.make().max_frame_rate() > 10.0
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            RowColumnAddresser(paper_grid(), clock_frequency=0.0)
+
+    def test_type_check_incremental(self):
+        addresser = self.make()
+        with pytest.raises(TypeError):
+            addresser.incremental_program_time("x", "y")
+
+
+class TestTimingBudget:
+    def test_paper_claim_plenty_of_time(self):
+        """Claim C2: electronics at least 100x faster than mass transfer
+        even at the fastest cell speed."""
+        budget = TimingBudget(
+            RowColumnAddresser(paper_grid()), cell_speed=um_per_s(100.0)
+        )
+        assert budget.slack_ratio() > 30.0
+        # and at the paper's slow end the ratio is in the hundreds
+        slow = TimingBudget(RowColumnAddresser(paper_grid()), um_per_s(10.0))
+        assert slow.slack_ratio() > 300.0
+
+    def test_slow_cells_widen_slack(self):
+        addresser = RowColumnAddresser(paper_grid())
+        slow = TimingBudget(addresser, um_per_s(10.0))
+        fast = TimingBudget(addresser, um_per_s(100.0))
+        assert slow.slack_ratio() == pytest.approx(10.0 * fast.slack_ratio())
+
+    def test_spare_scans_are_many(self):
+        """Hundreds of full-array scans fit in one motion step: the
+        averaging headroom of claim C3."""
+        budget = TimingBudget(
+            RowColumnAddresser(paper_grid()), cell_speed=um_per_s(50.0)
+        )
+        assert budget.spare_scans_per_step() > 50
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            TimingBudget(RowColumnAddresser(paper_grid()), 0.0)
+
+
+class TestPixelDesign:
+    def test_pixel_fits_under_20um_on_035(self):
+        """The paper's 0.35 um node hosts memory + switches + sensor
+        under a 20 um electrode (12 um floor allows it)."""
+        pixel = PixelDesign(node=PAPER_NODE)
+        assert pixel.fits(um(20.0))
+
+    def test_pixel_does_not_fit_on_ancient_node(self):
+        pixel = PixelDesign(node=get_node("2.0um"))
+        assert not pixel.fits(um(20.0))
+
+    def test_sensorless_pixel_smaller(self):
+        with_sensor = PixelDesign(node=PAPER_NODE, sensor="capacitive")
+        without = PixelDesign(node=PAPER_NODE, sensor="none")
+        assert without.circuit_area() < with_sensor.circuit_area()
+
+    def test_unknown_sensor_rejected(self):
+        with pytest.raises(ValueError):
+            PixelDesign(node=PAPER_NODE, sensor="quantum")
+
+    def test_fill_factor_bounds(self):
+        pixel = PixelDesign(node=PAPER_NODE)
+        assert 0.0 <= pixel.fill_factor(um(20.0)) <= 1.0
+
+    def test_min_pitch_never_below_node_floor(self):
+        pixel = PixelDesign(node=get_node("90nm"), sensor="none", memory_bits=1)
+        assert pixel.min_pitch() >= get_node("90nm").min_electrode_pitch
+
+    def test_static_power_grows_on_newer_nodes(self):
+        old = PixelDesign(node=PAPER_NODE)
+        new = PixelDesign(node=get_node("90nm"))
+        # per-cell leakage class is higher on deep submicron
+        assert new.static_power() > 0.0
+        assert old.static_power() >= 0.0

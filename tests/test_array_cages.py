@@ -1,0 +1,201 @@
+"""Unit + property tests for the cage manager (invariant: separation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array import CageError, CageManager, ElectrodeGrid, tile_cages
+from repro.physics.constants import um
+
+
+def make_manager(rows=20, cols=20, sep=2):
+    return CageManager(ElectrodeGrid(rows, cols, um(20)), min_separation=sep)
+
+
+class TestCreateRelease:
+    def test_create(self):
+        manager = make_manager()
+        cage = manager.create((5, 5), payload="cell")
+        assert len(manager) == 1
+        assert cage.payload == "cell"
+        assert manager.cage_at((5, 5)) is cage
+
+    def test_create_out_of_bounds(self):
+        with pytest.raises(CageError):
+            make_manager().create((25, 0))
+
+    def test_create_too_close(self):
+        manager = make_manager(sep=2)
+        manager.create((5, 5))
+        with pytest.raises(CageError):
+            manager.create((5, 6))
+
+    def test_create_at_separation_is_legal(self):
+        manager = make_manager(sep=2)
+        manager.create((5, 5))
+        manager.create((5, 7))
+        assert len(manager) == 2
+
+    def test_release(self):
+        manager = make_manager()
+        cage = manager.create((5, 5))
+        manager.release(cage.cage_id)
+        assert len(manager) == 0
+        assert manager.cage_at((5, 5)) is None
+
+    def test_release_unknown(self):
+        with pytest.raises(CageError):
+            make_manager().release(99)
+
+    def test_max_cage_count_paper_scale(self):
+        """320x320 at separation 2 -> 25,600 cages: the paper's 'tens of
+        thousands of DEP cages'."""
+        manager = CageManager(ElectrodeGrid(320, 320, um(20)), min_separation=2)
+        assert manager.max_cage_count() == 160 * 160
+        assert manager.max_cage_count() >= 10_000
+
+
+class TestStep:
+    def test_single_move(self):
+        manager = make_manager()
+        cage = manager.create((5, 5))
+        manager.step({cage.cage_id: (1, 0)})
+        assert cage.site == (6, 5)
+        assert manager.cage_at((6, 5)) is cage
+
+    def test_diagonal_move(self):
+        manager = make_manager()
+        cage = manager.create((5, 5))
+        manager.step({cage.cage_id: (1, 1)})
+        assert cage.site == (6, 6)
+
+    def test_rejects_multi_step(self):
+        manager = make_manager()
+        cage = manager.create((5, 5))
+        with pytest.raises(CageError):
+            manager.step({cage.cage_id: (2, 0)})
+
+    def test_rejects_out_of_bounds(self):
+        manager = make_manager()
+        cage = manager.create((0, 0))
+        with pytest.raises(CageError):
+            manager.step({cage.cage_id: (-1, 0)})
+
+    def test_move_to_exact_separation_is_legal(self):
+        manager = make_manager(sep=2)
+        a = manager.create((5, 5))
+        manager.create((5, 8))
+        manager.step({a.cage_id: (0, 1)})  # (5,6) vs (5,8): distance 2, legal
+        assert a.site == (5, 6)
+
+    def test_rejects_separation_violation(self):
+        manager = make_manager(sep=2)
+        a = manager.create((5, 5))
+        manager.create((5, 7))
+        with pytest.raises(CageError):
+            manager.step({a.cage_id: (0, 1)})  # (5,6) vs (5,7): distance 1 < 2
+
+    def test_atomicity_on_failure(self):
+        """A failed batch leaves every cage where it was."""
+        manager = make_manager(sep=2)
+        a = manager.create((5, 5))
+        b = manager.create((5, 7))
+        with pytest.raises(CageError):
+            manager.step({a.cage_id: (0, 1), b.cage_id: (1, 0)})
+        assert a.site == (5, 5)
+        assert b.site == (5, 7)
+
+    def test_parallel_shift_preserves_separation(self):
+        """The whole population shifting together is always legal -- the
+        paper's massively parallel pattern shift."""
+        manager = make_manager(rows=21, cols=21)
+        cages = tile_cages(manager, spacing=4)
+        moves = {c.cage_id: (1, 1) for c in cages if c.site[0] < 20 and c.site[1] < 20}
+        manager.step(moves)
+        assert len(manager) == len(cages)
+
+    def test_swap_collision_detected(self):
+        manager = make_manager(sep=1)
+        a = manager.create((5, 5))
+        b = manager.create((5, 6))
+        with pytest.raises(CageError):
+            manager.step({a.cage_id: (0, 1), b.cage_id: (0, -1)})
+
+
+class TestMerge:
+    def test_merge_payloads(self):
+        manager = make_manager()
+        a = manager.create((5, 5), payload="cell")
+        b = manager.create((5, 7), payload="bead")
+        merged = manager.merge(a.cage_id, b.cage_id)
+        assert merged.payload == ["cell", "bead"]
+        assert len(manager) == 1
+
+    def test_merge_empty_cages(self):
+        manager = make_manager()
+        a = manager.create((5, 5))
+        b = manager.create((5, 7))
+        merged = manager.merge(a.cage_id, b.cage_id)
+        assert merged.payload is None
+
+    def test_merge_too_far(self):
+        manager = make_manager()
+        a = manager.create((0, 0))
+        b = manager.create((10, 10))
+        with pytest.raises(CageError):
+            manager.merge(a.cage_id, b.cage_id)
+
+
+class TestTiling:
+    def test_tile_fills_lattice(self):
+        manager = make_manager(rows=10, cols=10, sep=2)
+        cages = tile_cages(manager)
+        assert len(cages) == 25
+
+    def test_tile_with_payloads(self):
+        manager = make_manager(rows=10, cols=10, sep=2)
+        cages = tile_cages(manager, payloads=["a", "b"])
+        loaded = [c for c in cages if c.payload is not None]
+        assert [c.payload for c in loaded] == ["a", "b"]
+
+    def test_tile_rejects_tight_spacing(self):
+        manager = make_manager(sep=3)
+        with pytest.raises(CageError):
+            tile_cages(manager, spacing=2)
+
+    def test_frame_matches_sites(self):
+        manager = make_manager(rows=10, cols=10)
+        tile_cages(manager, spacing=3)
+        frame = manager.frame()
+        assert frame.counter_phase_sites() == manager.sites()
+
+
+class TestSeparationInvariant:
+    @given(
+        seed=st.integers(0, 1000),
+        n_moves=st.integers(1, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_walk_never_violates_separation(self, seed, n_moves):
+        """Property: whatever sequence of (possibly rejected) random
+        steps we try, surviving state always satisfies the rule."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        manager = make_manager(rows=12, cols=12, sep=2)
+        cages = tile_cages(manager, spacing=4)
+        deltas = [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)]
+        for _ in range(n_moves):
+            moves = {
+                c.cage_id: deltas[rng.integers(len(deltas))]
+                for c in cages
+                if rng.random() < 0.5
+            }
+            try:
+                manager.step(moves)
+            except CageError:
+                pass
+            sites = manager.sites()
+            for i, a in enumerate(sites):
+                for b in sites[i + 1 :]:
+                    assert max(abs(a[0] - b[0]), abs(a[1] - b[1])) >= 2

@@ -1,0 +1,101 @@
+"""Unit tests for the drive electronics and array power budget."""
+
+import math
+
+import pytest
+
+from repro.array import paper_grid
+from repro.array.drive import ArrayDrivePower, PhaseGenerator
+from repro.physics.thermal import joule_power
+
+
+class TestPhaseGenerator:
+    def make(self, **kwargs):
+        defaults = dict(frequency=1e6, amplitude=3.3)
+        defaults.update(kwargs)
+        return PhaseGenerator(**defaults)
+
+    def test_period(self):
+        assert self.make().period == pytest.approx(1e-6)
+
+    def test_counter_phase_is_inverted(self):
+        gen = self.make()
+        t = 0.1e-6
+        assert gen.value(t, 0) == pytest.approx(-gen.value(t, 1), abs=1e-12)
+
+    def test_amplitude_bound(self):
+        gen = self.make()
+        values = [gen.value(i * 1e-8) for i in range(200)]
+        assert max(values) <= 3.3 + 1e-12
+        assert min(values) >= -3.3 - 1e-12
+
+    def test_slew_rate(self):
+        gen = self.make()
+        assert gen.max_slew_rate() == pytest.approx(2 * math.pi * 1e6 * 3.3)
+
+    def test_slew_rate_modest_for_dep_drive(self):
+        """~20 V/us: trivially achievable on a mature node -- more of
+        the paper's 'older technology suffices' theme."""
+        assert self.make().max_slew_rate() < 100e6
+
+    def test_rms(self):
+        assert self.make().rms() == pytest.approx(3.3 / math.sqrt(2))
+
+    def test_phase_index_validated(self):
+        with pytest.raises(ValueError):
+            self.make().value(0.0, 5)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            PhaseGenerator(frequency=0.0, amplitude=3.3)
+        with pytest.raises(ValueError):
+            PhaseGenerator(frequency=1e6, amplitude=3.3, n_phases=1)
+
+
+class TestArrayDrivePower:
+    def make(self, **kwargs):
+        defaults = dict(
+            grid=paper_grid(),
+            generator=PhaseGenerator(frequency=1e6, amplitude=3.3),
+        )
+        defaults.update(kwargs)
+        return ArrayDrivePower(**defaults)
+
+    def test_total_power_milliwatt_class(self):
+        """Driving the full >100k array costs milliwatts-to-tens-of-mW:
+        biochips do not need power-hungry electronics."""
+        power = self.make().total_power()
+        assert 1e-3 < power < 0.5
+
+    def test_ac_power_dominates_at_mhz(self):
+        budget = self.make()
+        assert budget.ac_drive_power() > budget.reprogram_power()
+
+    def test_power_scales_with_frequency(self):
+        slow = self.make(generator=PhaseGenerator(frequency=1e5, amplitude=3.3))
+        fast = self.make(generator=PhaseGenerator(frequency=1e6, amplitude=3.3))
+        assert fast.ac_drive_power() == pytest.approx(10.0 * slow.ac_drive_power())
+
+    def test_power_scales_with_amplitude_squared(self):
+        low = self.make(generator=PhaseGenerator(frequency=1e6, amplitude=1.65))
+        high = self.make(generator=PhaseGenerator(frequency=1e6, amplitude=3.3))
+        assert high.ac_drive_power() == pytest.approx(4.0 * low.ac_drive_power())
+
+    def test_reprogram_power_scales_with_rate(self):
+        slow = self.make(reprogram_rate=1.0)
+        fast = self.make(reprogram_rate=100.0)
+        assert fast.reprogram_power() == pytest.approx(100.0 * slow.reprogram_power())
+
+    def test_whole_chip_stays_biocompatible(self):
+        """Drive power + buffer Joule heating through the package
+        thermal resistance keeps the chip within the safe rise."""
+        budget = self.make()
+        buffer_power = joule_power(0.02, 3.3, 4e-9, 100e-6)
+        model = budget.thermal_model(buffer_power=buffer_power)
+        assert model.is_biocompatible()
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            self.make(electrode_capacitance=0.0)
+        with pytest.raises(ValueError):
+            self.make(switching_fraction=1.5)

@@ -1,0 +1,174 @@
+"""Unit + property tests for the electrode grid and phase patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array import (
+    ArrayFrame,
+    ElectrodeGrid,
+    Phase,
+    cage_frame,
+    paper_grid,
+    uniform_frame,
+)
+from repro.physics.constants import um
+
+
+class TestElectrodeGrid:
+    def test_paper_grid_has_over_100k_electrodes(self):
+        """The paper: 'an array of more than 100,000 electrodes'."""
+        grid = paper_grid()
+        assert grid.electrode_count > 100_000
+        assert grid.electrode_count == 320 * 320
+
+    def test_paper_grid_is_8mm_square(self):
+        grid = paper_grid()
+        assert grid.width == pytest.approx(6.4e-3)
+        assert grid.height == pytest.approx(6.4e-3)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ElectrodeGrid(0, 10, um(20))
+        with pytest.raises(ValueError):
+            ElectrodeGrid(10, 10, 0.0)
+
+    def test_center(self):
+        grid = ElectrodeGrid(4, 4, um(20))
+        x, y = grid.center(0, 0)
+        assert x == pytest.approx(um(10))
+        assert y == pytest.approx(um(10))
+
+    def test_center_out_of_bounds(self):
+        grid = ElectrodeGrid(4, 4, um(20))
+        with pytest.raises(IndexError):
+            grid.center(4, 0)
+
+    def test_centers_shape(self):
+        grid = ElectrodeGrid(3, 5, um(20))
+        centers = grid.centers()
+        assert centers.shape == (3, 5, 2)
+        assert centers[2, 4, 0] == pytest.approx(um(90))  # x of col 4
+        assert centers[2, 4, 1] == pytest.approx(um(50))  # y of row 2
+
+    def test_locate_round_trip(self):
+        grid = ElectrodeGrid(10, 10, um(20))
+        for site in [(0, 0), (3, 7), (9, 9)]:
+            x, y = grid.center(*site)
+            assert grid.locate(x, y) == site
+
+    def test_locate_outside_raises(self):
+        grid = ElectrodeGrid(10, 10, um(20))
+        with pytest.raises(ValueError):
+            grid.locate(-um(1), um(5))
+
+    def test_neighbors4_corner(self):
+        grid = ElectrodeGrid(5, 5, um(20))
+        assert set(grid.neighbors4(0, 0)) == {(0, 1), (1, 0)}
+
+    def test_neighbors8_interior(self):
+        grid = ElectrodeGrid(5, 5, um(20))
+        assert len(grid.neighbors8(2, 2)) == 8
+
+    def test_distances(self):
+        grid = ElectrodeGrid(10, 10, um(20))
+        assert grid.chebyshev((0, 0), (3, 5)) == 5
+        assert grid.manhattan((0, 0), (3, 5)) == 8
+
+    def test_window_clipping(self):
+        grid = ElectrodeGrid(10, 10, um(20))
+        assert grid.window(0, 0, 2) == (0, 2, 0, 2)
+        assert grid.window(9, 9, 2) == (7, 9, 7, 9)
+
+    @given(
+        rows=st.integers(1, 40),
+        cols=st.integers(1, 40),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_locate_center_round_trip_property(self, rows, cols, data):
+        grid = ElectrodeGrid(rows, cols, um(20))
+        row = data.draw(st.integers(0, rows - 1))
+        col = data.draw(st.integers(0, cols - 1))
+        x, y = grid.center(row, col)
+        assert grid.locate(x, y) == (row, col)
+
+
+class TestArrayFrame:
+    def test_default_all_ground(self):
+        frame = ArrayFrame(ElectrodeGrid(4, 4, um(20)))
+        assert np.all(frame.phases == 0)
+
+    def test_set_get_phase(self):
+        frame = ArrayFrame(ElectrodeGrid(4, 4, um(20)))
+        frame.set_phase(1, 2, Phase.COUNTER)
+        assert frame.get_phase(1, 2) is Phase.COUNTER
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ArrayFrame(ElectrodeGrid(4, 4, um(20)), np.zeros((3, 3)))
+
+    def test_rejects_invalid_phase_values(self):
+        with pytest.raises(ValueError):
+            ArrayFrame(ElectrodeGrid(2, 2, um(20)), np.full((2, 2), 7))
+
+    def test_uniform_frame(self):
+        frame = uniform_frame(ElectrodeGrid(3, 3, um(20)))
+        assert np.all(frame.phases == Phase.IN_PHASE.value)
+
+    def test_cage_frame_sites(self):
+        grid = ElectrodeGrid(8, 8, um(20))
+        frame = cage_frame(grid, [(2, 2), (5, 6)])
+        assert frame.counter_phase_sites() == [(2, 2), (5, 6)]
+
+    def test_cage_frame_out_of_bounds(self):
+        grid = ElectrodeGrid(4, 4, um(20))
+        with pytest.raises(IndexError):
+            cage_frame(grid, [(5, 0)])
+
+    def test_diff_count(self):
+        grid = ElectrodeGrid(6, 6, um(20))
+        a = cage_frame(grid, [(2, 2)])
+        b = cage_frame(grid, [(2, 3)])
+        assert a.diff_count(b) == 2  # old site and new site both change
+
+    def test_dirty_rows(self):
+        grid = ElectrodeGrid(6, 6, um(20))
+        a = cage_frame(grid, [(2, 2)])
+        b = cage_frame(grid, [(3, 2)])
+        assert b.dirty_rows(a) == [2, 3]
+
+    def test_diff_different_grids_raises(self):
+        a = ArrayFrame(ElectrodeGrid(4, 4, um(20)))
+        b = ArrayFrame(ElectrodeGrid(5, 5, um(20)))
+        with pytest.raises(ValueError):
+            a.diff_count(b)
+
+    def test_copy_is_independent(self):
+        frame = uniform_frame(ElectrodeGrid(3, 3, um(20)))
+        clone = frame.copy()
+        clone.set_phase(0, 0, Phase.GROUND)
+        assert frame.get_phase(0, 0) is Phase.IN_PHASE
+
+    def test_to_ascii(self):
+        grid = ElectrodeGrid(3, 3, um(20))
+        frame = cage_frame(grid, [(1, 1)])
+        art = frame.to_ascii()
+        assert art.splitlines()[1] == "+-+"
+
+    def test_field_model_window(self):
+        """A cage frame's field model reproduces the trap minimum."""
+        grid = ElectrodeGrid(12, 12, um(20))
+        frame = cage_frame(grid, [(6, 6)])
+        model = frame.field_model(3.3, lid_height=um(100), region=(4, 8, 4, 8))
+        x, y = grid.center(6, 6)
+        xn, yn = grid.center(6, 8)
+        z = um(15)
+        assert model.e_squared(x, y, z) < model.e_squared(xn, yn, z)
+
+    def test_field_model_patch_count(self):
+        grid = ElectrodeGrid(10, 10, um(20))
+        frame = cage_frame(grid, [(5, 5)])
+        model = frame.field_model(3.3, um(100), region=(3, 7, 3, 7))
+        assert len(model.patches) == 25

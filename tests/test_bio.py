@@ -1,0 +1,164 @@
+"""Unit + property tests for the bioparticle library and populations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio import (
+    PARTICLE_FACTORIES,
+    Sample,
+    bacterium,
+    cells_per_ml,
+    erythrocyte,
+    make_particle,
+    mammalian_cell,
+    polystyrene_bead,
+    rare_cell_sample,
+    tumor_cell,
+    yeast_cell,
+)
+from repro.physics.constants import ul, um
+from repro.physics.dielectrics import water_medium
+
+
+class TestParticleFactories:
+    def test_all_factories_build(self):
+        for kind in PARTICLE_FACTORIES:
+            particle = make_particle(kind)
+            assert particle.radius > 0.0
+            assert particle.density > 0.0
+
+    def test_make_particle_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown particle kind"):
+            make_particle("unobtainium")
+
+    def test_mammalian_cell_size(self):
+        """20 um diameter -- the cell size the paper says sets the pitch."""
+        cell = mammalian_cell()
+        assert cell.diameter == pytest.approx(um(20.0))
+
+    def test_bead_is_always_ndep(self):
+        bead = polystyrene_bead()
+        medium = water_medium()
+        for f in [1e4, 1e5, 1e6, 1e7, 1e8]:
+            assert bead.real_cm(medium, f) < 0.0
+
+    def test_viability_changes_dep_signature(self):
+        """Live vs dead cells differ in Re[K] somewhere in the band --
+        the physical basis of viability sorting."""
+        live = mammalian_cell(viable=True)
+        dead = mammalian_cell(viable=False)
+        medium = water_medium(0.02)
+        freqs = np.logspace(4, 7, 50)
+        gap = np.max(np.abs(live.real_cm(medium, freqs) - dead.real_cm(medium, freqs)))
+        assert gap > 0.2
+
+    def test_tumor_cell_larger_than_erythrocyte(self):
+        assert tumor_cell().radius > erythrocyte().radius
+
+    def test_bacterium_is_smallest(self):
+        others = [mammalian_cell(), yeast_cell(), erythrocyte(), tumor_cell()]
+        assert all(bacterium().radius < p.radius for p in others)
+
+    def test_volume(self):
+        bead = polystyrene_bead(um(5))
+        assert bead.volume == pytest.approx(4 / 3 * np.pi * (5e-6) ** 3)
+
+    def test_with_radius(self):
+        bead = polystyrene_bead(um(5)).with_radius(um(2))
+        assert bead.radius == pytest.approx(um(2))
+
+    def test_opacity_validation(self):
+        with pytest.raises(ValueError):
+            polystyrene_bead().__class__(
+                name="x",
+                dielectric=water_medium(),
+                radius=um(1),
+                opacity=1.5,
+            )
+
+    @given(log_f=st.floats(3.0, 8.5))
+    @settings(max_examples=80, deadline=None)
+    def test_cm_bounds_for_all_cells(self, log_f):
+        """Every built-in particle has Re[K] in the physical band."""
+        medium = water_medium()
+        for kind in PARTICLE_FACTORIES:
+            k = make_particle(kind).real_cm(medium, 10.0**log_f)
+            assert -0.5 - 1e-9 <= k <= 1.0 + 1e-9
+
+
+class TestSample:
+    def test_expected_counts(self):
+        sample = Sample(volume=ul(4.0))
+        sample.add(polystyrene_bead(), cells_per_ml(1e5))
+        # 1e5/ml * 4 ul = 400 expected
+        assert sample.expected_total() == pytest.approx(400.0)
+
+    def test_draw_deterministic_counts(self):
+        sample = Sample(volume=ul(4.0)).add(polystyrene_bead(), cells_per_ml(1e5))
+        drawn = sample.draw((8e-3, 8e-3), 100e-6, poisson=False)
+        assert len(drawn) == 400
+
+    def test_draw_poisson_near_expectation(self):
+        sample = Sample(volume=ul(4.0)).add(polystyrene_bead(), cells_per_ml(1e5))
+        drawn = sample.draw((8e-3, 8e-3), 100e-6, rng=np.random.default_rng(0))
+        assert 300 < len(drawn) < 500
+
+    def test_positions_inside_chamber(self):
+        sample = Sample(volume=ul(1.0)).add(mammalian_cell(), cells_per_ml(1e5))
+        drawn = sample.draw((8e-3, 8e-3), 100e-6, rng=np.random.default_rng(1))
+        for p in drawn:
+            x, y, z = p.position
+            assert 0.0 <= x <= 8e-3
+            assert 0.0 <= y <= 8e-3
+            assert 0.0 < z <= 100e-6
+
+    def test_size_scatter(self):
+        sample = Sample(volume=ul(4.0)).add(
+            mammalian_cell(), cells_per_ml(1e5), size_cv=0.1
+        )
+        drawn = sample.draw((8e-3, 8e-3), 100e-6, rng=np.random.default_rng(2))
+        radii = np.array([p.particle.radius for p in drawn])
+        cv = radii.std() / radii.mean()
+        assert 0.05 < cv < 0.2
+
+    def test_zero_cv_gives_identical_radii(self):
+        sample = Sample(volume=ul(1.0)).add(
+            polystyrene_bead(), cells_per_ml(1e5), size_cv=0.0
+        )
+        drawn = sample.draw((8e-3, 8e-3), 100e-6, rng=np.random.default_rng(3))
+        radii = {p.particle.radius for p in drawn}
+        assert radii == {polystyrene_bead().radius}
+
+    def test_composition(self):
+        sample = Sample(volume=ul(4.0))
+        sample.add(mammalian_cell(), cells_per_ml(3e5))
+        sample.add(polystyrene_bead(), cells_per_ml(1e5))
+        comp = sample.composition()
+        assert comp["viable mammalian cell"] == pytest.approx(0.75)
+        assert comp["polystyrene bead"] == pytest.approx(0.25)
+
+    def test_rejects_bad_volume(self):
+        with pytest.raises(ValueError):
+            Sample(volume=0.0)
+
+    def test_rejects_bad_extent(self):
+        sample = Sample(volume=ul(1.0)).add(polystyrene_bead(), cells_per_ml(1e4))
+        with pytest.raises(ValueError):
+            sample.draw((0.0, 8e-3), 100e-6)
+
+    def test_rare_cell_sample_composition(self):
+        sample = rare_cell_sample(
+            mammalian_cell(), tumor_cell(), background_per_ml=1e6, rare_per_ml=100.0
+        )
+        comp = sample.composition()
+        assert comp["tumor cell"] < 1e-3
+        assert comp["viable mammalian cell"] > 0.999
+
+    def test_draw_reproducible(self):
+        sample = Sample(volume=ul(2.0)).add(yeast_cell(), cells_per_ml(1e5))
+        a = sample.draw((8e-3, 8e-3), 100e-6, rng=np.random.default_rng(9))
+        b = sample.draw((8e-3, 8e-3), 100e-6, rng=np.random.default_rng(9))
+        assert len(a) == len(b)
+        assert all(np.allclose(p.position, q.position) for p, q in zip(a, b))

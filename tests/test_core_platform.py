@@ -1,0 +1,192 @@
+"""Unit tests for the Biochip platform façade and executor."""
+
+import pytest
+
+from repro import Biochip, ExecutionError, Executor, Protocol
+from repro.bio import Sample, cells_per_ml, mammalian_cell, polystyrene_bead
+from repro.physics.constants import ul, um
+
+
+class TestBiochipConstruction:
+    def test_paper_chip_scale(self):
+        chip = Biochip.paper_chip()
+        assert chip.grid.electrode_count > 100_000
+        assert chip.cages.max_cage_count() >= 10_000
+
+    def test_small_chip(self):
+        chip = Biochip.small_chip(rows=32, cols=32)
+        assert chip.grid.electrode_count == 1024
+
+    def test_drive_voltage_capped_by_node(self):
+        with pytest.raises(ValueError, match="exceeds node"):
+            Biochip.small_chip().__class__(
+                grid=Biochip.small_chip().grid, drive_voltage=12.0
+            )
+
+    def test_chamber_default_covers_grid(self):
+        chip = Biochip.small_chip()
+        assert chip.chamber.covers_grid(chip.grid)
+
+
+class TestBiochipOperations:
+    def test_trap_and_release(self):
+        chip = Biochip.small_chip()
+        cage = chip.trap((5, 5), polystyrene_bead())
+        assert chip.cage_count == 1
+        chip.release(cage.cage_id)
+        assert chip.cage_count == 0
+
+    def test_trap_conflict_raises_execution_error(self):
+        chip = Biochip.small_chip()
+        chip.trap((5, 5))
+        with pytest.raises(ExecutionError):
+            chip.trap((5, 6))
+
+    def test_move_routes_around_other_cages(self):
+        chip = Biochip.small_chip()
+        blocker = chip.trap((10, 10))
+        mover = chip.trap((10, 0))
+        path = chip.move(mover.cage_id, (10, 20))
+        assert chip.cages.cage(mover.cage_id).site == (10, 20)
+        for site in path:
+            assert max(abs(site[0] - 10), abs(site[1] - 10)) >= 2 or site == (10, 0) or site[1] > 12 or site[1] < 8
+
+    def test_move_accounts_time(self):
+        chip = Biochip.small_chip()
+        cage = chip.trap((0, 0))
+        before = chip.elapsed
+        chip.move(cage.cage_id, (0, 10))
+        elapsed = chip.elapsed - before
+        # 10 steps at 20 um / 50 um/s = 4 s of physics, plus tiny electronics
+        assert elapsed == pytest.approx(4.0, rel=0.05)
+
+    def test_merge(self):
+        chip = Biochip.small_chip()
+        a = chip.trap((10, 10), "A")
+        b = chip.trap((10, 20), "B")
+        merged = chip.merge(a.cage_id, b.cage_id)
+        assert merged.payload == ["A", "B"]
+        assert chip.cage_count == 1
+
+    def test_sense_detects_cell(self):
+        chip = Biochip.small_chip()
+        cage = chip.trap((5, 5), mammalian_cell())
+        result = chip.sense(cage.cage_id, n_samples=2000)
+        assert result.detected
+        assert result.expected
+
+    def test_sense_empty_cage_mostly_silent(self):
+        chip = Biochip.small_chip(seed=3)
+        cage = chip.trap((5, 5))
+        result = chip.sense(cage.cage_id, n_samples=2000)
+        assert not result.expected
+        assert not result.detected
+
+    def test_sense_time_scales_with_samples(self):
+        chip = Biochip.small_chip()
+        cage = chip.trap((5, 5), mammalian_cell())
+        short = chip.sense(cage.cage_id, n_samples=100).duration
+        long = chip.sense(cage.cage_id, n_samples=1000).duration
+        assert long == pytest.approx(10.0 * short)
+
+    def test_incubate_advances_clock(self):
+        chip = Biochip.small_chip()
+        before = chip.elapsed
+        chip.incubate(60.0)
+        assert chip.elapsed - before == pytest.approx(60.0)
+
+    def test_verify_speed_for_bead(self):
+        chip = Biochip.small_chip()
+        assert chip.verify_speed(polystyrene_bead(um(5)))
+
+    def test_history_grows(self):
+        chip = Biochip.small_chip()
+        cage = chip.trap((5, 5))
+        chip.move(cage.cage_id, (10, 10))
+        kinds = [kind for __, kind, __ in chip.history]
+        assert kinds == ["trap", "move"]
+
+
+class TestLoadSample:
+    def sample(self, per_ml=2e4):
+        return Sample(volume=ul(1.0)).add(polystyrene_bead(), cells_per_ml(per_ml))
+
+    def test_load_creates_cages(self):
+        chip = Biochip.small_chip(rows=64, cols=64, seed=1)
+        cages = chip.load_sample(self.sample(), max_particles=50)
+        assert 0 < len(cages) <= 50
+        assert chip.cage_count == len(cages)
+
+    def test_load_respects_capacity(self):
+        chip = Biochip.small_chip(rows=8, cols=8, seed=1)
+        sample = Sample(volume=ul(4.0)).add(polystyrene_bead(), cells_per_ml(1e6))
+        with pytest.raises(ExecutionError, match="capacity"):
+            chip.load_sample(sample)
+
+    def test_loaded_cages_have_payloads(self):
+        chip = Biochip.small_chip(rows=64, cols=64, seed=2)
+        cages = chip.load_sample(self.sample(), max_particles=20)
+        assert all(c.payload is not None for c in cages)
+
+
+class TestExecutor:
+    def test_full_protocol_run(self):
+        chip = Biochip.small_chip()
+        protocol = (
+            Protocol("run")
+            .trap("cell", (5, 5), mammalian_cell())
+            .move("cell", (20, 20))
+            .sense("cell", samples=2000)
+            .incubate("cell", 10.0)
+            .release("cell")
+        )
+        result = Executor(chip).run(protocol)
+        assert result.count() == 5
+        assert result.detections("cell") == [True]
+        assert result.wall_time > 0.0
+        assert chip.cage_count == 0
+
+    def test_merge_protocol(self):
+        chip = Biochip.small_chip()
+        protocol = (
+            Protocol("pairing")
+            .trap("cell", (10, 10), mammalian_cell())
+            .trap("bead", (10, 30), polystyrene_bead())
+            .merge("cell", "bead")
+            .sense("cell")
+            .release("cell")
+        )
+        result = Executor(chip).run(protocol)
+        assert result.count("merge") == 1
+        assert chip.cage_count == 0
+
+    def test_result_summary_text(self):
+        chip = Biochip.small_chip()
+        protocol = Protocol("t").trap("a", (5, 5)).release("a")
+        result = Executor(chip).run(protocol)
+        assert "protocol 't'" in result.summary()
+
+    def test_detection_accuracy_perfect_on_easy_case(self):
+        chip = Biochip.small_chip(seed=4)
+        protocol = (
+            Protocol("acc")
+            .trap("full", (5, 5), mammalian_cell())
+            .trap("empty", (5, 15))
+            .sense("full", samples=2000)
+            .sense("empty", samples=2000)
+            .release("full")
+            .release("empty")
+        )
+        result = Executor(chip).run(protocol)
+        assert result.detection_accuracy() == 1.0
+
+    def test_predicted_vs_wall_time_same_order(self):
+        chip = Biochip.small_chip()
+        protocol = (
+            Protocol("time")
+            .trap("a", (0, 0))
+            .move("a", (20, 20))
+            .release("a")
+        )
+        result = Executor(chip).run(protocol)
+        assert 0.2 < result.wall_time / result.predicted_makespan < 5.0

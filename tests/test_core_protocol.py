@@ -1,0 +1,173 @@
+"""Unit tests for the protocol DSL and compiler."""
+
+import pytest
+
+from repro.array import ElectrodeGrid
+from repro.bio import polystyrene_bead
+from repro.core import CompileError, Protocol, ProtocolError, compile_protocol
+from repro.core.protocol import viability_sort_protocol
+from repro.physics.constants import um
+from repro.scheduling import OpType
+
+
+def grid():
+    return ElectrodeGrid(48, 48, um(20))
+
+
+class TestProtocolValidation:
+    def test_valid_protocol(self):
+        protocol = (
+            Protocol("ok")
+            .trap("a", (0, 0))
+            .move("a", (5, 5))
+            .sense("a")
+            .release("a")
+        )
+        assert protocol.validate()
+
+    def test_use_before_definition(self):
+        with pytest.raises(ProtocolError, match="not defined"):
+            Protocol("bad").move("ghost", (1, 1)).validate()
+
+    def test_redefinition(self):
+        with pytest.raises(ProtocolError, match="redefined"):
+            Protocol("bad").trap("a", (0, 0)).trap("a", (4, 4)).validate()
+
+    def test_use_after_release(self):
+        protocol = Protocol("bad").trap("a", (0, 0)).release("a").move("a", (1, 1))
+        with pytest.raises(ProtocolError, match="after release"):
+            protocol.validate()
+
+    def test_use_after_merge_absorption(self):
+        protocol = (
+            Protocol("bad")
+            .trap("a", (0, 0))
+            .trap("b", (0, 4))
+            .merge("a", "b")
+            .sense("b")
+        )
+        with pytest.raises(ProtocolError, match="after release/merge"):
+            protocol.validate()
+
+    def test_self_merge(self):
+        protocol = Protocol("bad").trap("a", (0, 0)).merge("a", "a")
+        with pytest.raises(ProtocolError, match="itself"):
+            protocol.validate()
+
+    def test_bad_samples(self):
+        protocol = Protocol("bad").trap("a", (0, 0)).sense("a", samples=0)
+        with pytest.raises(ProtocolError, match="samples"):
+            protocol.validate()
+
+    def test_negative_incubation(self):
+        protocol = Protocol("bad").trap("a", (0, 0)).incubate("a", -1.0)
+        with pytest.raises(ProtocolError, match="negative"):
+            protocol.validate()
+
+    def test_handles(self):
+        protocol = Protocol("x").trap("a", (0, 0)).trap("b", (0, 4))
+        assert protocol.handles() == ["a", "b"]
+
+    def test_builder_returns_self(self):
+        protocol = Protocol("x")
+        assert protocol.trap("a", (0, 0)) is protocol
+
+
+class TestCompiler:
+    def simple_protocol(self):
+        return (
+            Protocol("simple")
+            .trap("a", (0, 0))
+            .move("a", (10, 10))
+            .sense("a", samples=500)
+            .release("a")
+        )
+
+    def test_one_op_per_command(self):
+        program = compile_protocol(self.simple_protocol(), grid())
+        assert len(program.graph) == 4
+
+    def test_handle_commands_serialise(self):
+        program = compile_protocol(self.simple_protocol(), grid())
+        ordered = program.ordered_commands()
+        kinds = [type(cmd).__name__ for __, __, cmd in ordered]
+        assert kinds == ["TrapCmd", "MoveCmd", "SenseCmd", "ReleaseCmd"]
+
+    def test_move_duration_from_distance(self):
+        program = compile_protocol(self.simple_protocol(), grid())
+        move_ops = [
+            op for op in program.graph.operations() if op.op_type is OpType.MOVE
+        ]
+        assert move_ops[0].payload["distance"] == 10
+
+    def test_parallel_handles_overlap_in_schedule(self):
+        protocol = (
+            Protocol("parallel")
+            .trap("a", (0, 0))
+            .trap("b", (0, 8))
+            .move("a", (20, 20))
+            .move("b", (20, 40))
+            .release("a")
+            .release("b")
+        )
+        program = compile_protocol(protocol, grid())
+        move_entries = [
+            program.schedule.entry(op.op_id)
+            for op in program.graph.operations()
+            if op.op_type is OpType.MOVE
+        ]
+        a, b = move_entries
+        # independent moves overlap in time (different zones)
+        assert a.start < b.end and b.start < a.end
+
+    def test_merge_joins_dependencies(self):
+        protocol = (
+            Protocol("pairing")
+            .trap("a", (0, 0))
+            .trap("b", (0, 8))
+            .merge("a", "b")
+            .sense("a")
+            .release("a")
+        )
+        program = compile_protocol(protocol, grid())
+        merge_op = next(
+            op for op in program.graph.operations() if op.op_type is OpType.MERGE
+        )
+        assert len(program.graph.predecessors(merge_op.op_id)) == 2
+
+    def test_off_grid_site_rejected(self):
+        protocol = Protocol("bad").trap("a", (100, 100))
+        with pytest.raises(CompileError, match="outside"):
+            compile_protocol(protocol, grid())
+
+    def test_off_grid_goal_rejected(self):
+        protocol = Protocol("bad").trap("a", (0, 0)).move("a", (100, 0))
+        with pytest.raises(CompileError):
+            compile_protocol(protocol, grid())
+
+    def test_schedule_is_validated(self):
+        program = compile_protocol(self.simple_protocol(), grid())
+        assert program.schedule.validate(program.graph, program.binder)
+
+    def test_makespan_positive(self):
+        program = compile_protocol(self.simple_protocol(), grid())
+        assert program.makespan > 0.0
+
+    def test_invalid_protocol_rejected_at_compile(self):
+        protocol = Protocol("bad").move("ghost", (1, 1))
+        with pytest.raises(ProtocolError):
+            compile_protocol(protocol, grid())
+
+
+class TestViabilitySortFactory:
+    def test_builds_and_validates(self):
+        bead = polystyrene_bead()
+        pairs = [
+            ("p0", bead, (0, 20), True),
+            ("p1", bead, (4, 20), False),
+            ("p2", bead, (8, 20), True),
+        ]
+        protocol = viability_sort_protocol(pairs, left_column=2, right_column=44)
+        assert protocol.validate()
+        # trap + sense + move + release per particle
+        assert len(protocol) == 3 * 4

@@ -1,0 +1,151 @@
+"""Unit + scenario tests for the design-flow simulation (F1/F2)."""
+
+import numpy as np
+import pytest
+
+from repro.designflow import (
+    BuildTestFlow,
+    DesignProblem,
+    ModelFidelity,
+    SimulateFirstFlow,
+    compare_flows,
+    crossover_sweep,
+    electronic_fidelity,
+    electronic_scenario,
+    fluidic_fidelity,
+    fluidic_scenario,
+    parameter_sweep_fidelities,
+    run_flow_monte_carlo,
+)
+from repro.packaging import PrototypeIteration, cmos_mpw_iteration, dry_film_iteration
+from repro.technology import PAPER_NODE
+
+
+class TestModelFidelity:
+    def test_perfect_model_predicts_sign(self):
+        fidelity = ModelFidelity(sigma=0.0)
+        rng = np.random.default_rng(0)
+        assert fidelity.predict(0.5, rng) == pytest.approx(0.5)
+
+    def test_false_pass_probability_grows_with_sigma(self):
+        poor = ModelFidelity(sigma=0.5).false_pass_probability(-0.2)
+        good = ModelFidelity(sigma=0.05).false_pass_probability(-0.2)
+        assert poor > good
+
+    def test_false_pass_zero_sigma(self):
+        assert ModelFidelity(sigma=0.0).false_pass_probability(-0.1) == 0.0
+        assert ModelFidelity(sigma=0.0).false_pass_probability(0.1) == 1.0
+
+    def test_domain_fidelities_ordered(self):
+        """Fluidic models are far less trustworthy than electronic."""
+        assert fluidic_fidelity().sigma > 5.0 * electronic_fidelity().sigma
+
+    def test_parameter_sweep(self):
+        fids = parameter_sweep_fidelities([0.1, 0.2, 0.3])
+        assert [f.sigma for f in fids] == [0.1, 0.2, 0.3]
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            ModelFidelity(sigma=-0.1)
+
+
+class TestDesignProblem:
+    def test_validates_gap(self):
+        with pytest.raises(ValueError):
+            DesignProblem(initial_gap=0.0)
+
+    def test_validates_improvements(self):
+        with pytest.raises(ValueError):
+            DesignProblem(blind_improvement=0.5, informed_improvement=0.1)
+
+
+class TestFlows:
+    def fab(self, cost=500.0, turnaround_days=2.5):
+        return PrototypeIteration("proto", cost, turnaround_days * 86400.0)
+
+    def test_simulate_first_terminates_and_succeeds(self):
+        flow = SimulateFirstFlow(DesignProblem(), electronic_fidelity(), self.fab())
+        outcome = flow.run(np.random.default_rng(0))
+        assert outcome.met_spec
+        assert outcome.fabrications >= 1
+        assert outcome.simulations >= 1
+
+    def test_build_test_terminates_and_succeeds(self):
+        flow = BuildTestFlow(DesignProblem(), fluidic_fidelity(), self.fab())
+        outcome = flow.run(np.random.default_rng(0))
+        assert outcome.met_spec
+        assert outcome.fabrications >= 1
+
+    def test_outcomes_accumulate_cost_and_time(self):
+        flow = BuildTestFlow(DesignProblem(), fluidic_fidelity(), self.fab())
+        outcome = flow.run(np.random.default_rng(1))
+        assert outcome.elapsed > 0.0
+        assert outcome.cost > 0.0
+
+    def test_accurate_model_means_one_fab(self):
+        """With a near-perfect simulator the simulate-first flow tapes
+        out once -- Fig. 1's promise of 'avoiding lengthy iterations'."""
+        flow = SimulateFirstFlow(
+            DesignProblem(), ModelFidelity(sigma=0.01), self.fab()
+        )
+        outcomes = run_flow_monte_carlo(flow, runs=40, seed=0)
+        mean_fabs = np.mean([o.fabrications for o in outcomes])
+        assert mean_fabs < 1.5
+
+    def test_poor_model_forces_respins(self):
+        flow = SimulateFirstFlow(
+            DesignProblem(), ModelFidelity(sigma=0.6), self.fab()
+        )
+        outcomes = run_flow_monte_carlo(flow, runs=40, seed=0)
+        mean_fabs = np.mean([o.fabrications for o in outcomes])
+        assert mean_fabs > 1.5
+
+    def test_deterministic_given_seed(self):
+        flow = BuildTestFlow(DesignProblem(), fluidic_fidelity(), self.fab())
+        a = flow.run(np.random.default_rng(5))
+        b = flow.run(np.random.default_rng(5))
+        assert a.elapsed == b.elapsed
+        assert a.cost == b.cost
+
+
+class TestScenarios:
+    def test_f1_electronic_simulate_first_wins(self):
+        """Fig. 1 regime: accurate models + slow/expensive fab -> the
+        classical flow wins on time and cost."""
+        sim_stats, build_stats = electronic_scenario(runs=80, seed=0)
+        assert sim_stats.median_time < build_stats.median_time
+        assert sim_stats.median_cost < build_stats.median_cost
+        assert sim_stats.mean_fabrications < build_stats.mean_fabrications
+
+    def test_f2_fluidic_build_test_wins(self):
+        """Fig. 2 regime: poor models + 2-3 day cheap fab -> build-and-
+        test wins on time and cost. The paper's headline argument."""
+        sim_stats, build_stats = fluidic_scenario(runs=80, seed=0)
+        assert build_stats.median_time < sim_stats.median_time
+        assert build_stats.median_cost < sim_stats.median_cost
+
+    def test_success_rates_high(self):
+        for stats in electronic_scenario(runs=40, seed=1) + fluidic_scenario(
+            runs=40, seed=1
+        ):
+            assert stats.success_rate > 0.9
+
+    def test_crossover_sweep_shape(self):
+        """build-test wins the high-sigma/fast-fab corner and loses the
+        low-sigma/slow-fab corner."""
+        points = crossover_sweep(
+            sigmas=(0.02, 0.4), turnarounds_days=(2.5, 90.0), runs=40, seed=0
+        )
+        by_key = {(p.sigma, round(p.turnaround / 86400.0, 1)): p for p in points}
+        assert by_key[(0.4, 2.5)].build_test_wins
+        assert not by_key[(0.02, 90.0)].build_test_wins
+
+    def test_compare_flows_uses_common_settings(self):
+        sim_stats, build_stats = compare_flows(
+            DesignProblem(),
+            fluidic_fidelity(),
+            dry_film_iteration(),
+            runs=20,
+            seed=2,
+        )
+        assert sim_stats.runs == build_stats.runs == 20

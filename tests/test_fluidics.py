@@ -1,0 +1,231 @@
+"""Unit + property tests for the fluidics package."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array import paper_grid
+from repro.fluidics import (
+    DiffusionSolver2D,
+    EvaporationModel,
+    Microchamber,
+    PAPER_SAMPLE_VOLUME,
+    RectangularChannel,
+    capillary_number,
+    capillary_pressure,
+    chamber_for_grid,
+    diffusive_mixing_time,
+    evaporation_flux,
+    height_for_volume,
+    peclet_number,
+    washburn_fill_time,
+)
+from repro.physics.constants import mm, ul, um
+
+
+class TestMicrochamber:
+    def test_volume(self):
+        chamber = Microchamber(mm(8), mm(8), um(100))
+        assert chamber.volume_ul == pytest.approx(6.4)
+
+    def test_paper_volume_achievable(self):
+        """A chamber over the paper's array at ~60 um walls holds ~4 ul."""
+        grid = paper_grid()
+        height = height_for_volume(grid, PAPER_SAMPLE_VOLUME)
+        assert um(30) < height < um(120)
+        chamber = chamber_for_grid(grid, height)
+        assert chamber.volume == pytest.approx(PAPER_SAMPLE_VOLUME, rel=1e-9)
+
+    def test_covers_grid(self):
+        grid = paper_grid()
+        chamber = chamber_for_grid(grid, um(100))
+        assert chamber.covers_grid(grid)
+
+    def test_holds(self):
+        chamber = Microchamber(mm(8), mm(8), um(100))
+        assert chamber.holds(ul(4.0))
+        assert not chamber.holds(ul(10.0))
+
+    def test_aspect_ratio_large(self):
+        chamber = chamber_for_grid(paper_grid(), um(100))
+        assert chamber.aspect_ratio > 50.0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Microchamber(0.0, mm(8), um(100))
+
+
+class TestEvaporation:
+    def test_flux_zero_at_saturation(self):
+        assert evaporation_flux(1.0) == 0.0
+
+    def test_flux_validates_rh(self):
+        with pytest.raises(ValueError):
+            evaporation_flux(1.5)
+
+    def test_volume_decreases(self):
+        model = EvaporationModel(exposed_area=mm(1) ** 2, relative_humidity=0.5)
+        v0 = ul(4.0)
+        assert model.volume_after(v0, 600.0) < v0
+
+    def test_time_to_fraction_positive_and_scales(self):
+        model = EvaporationModel(exposed_area=mm(1) ** 2, relative_humidity=0.5)
+        t90 = model.time_to_fraction(ul(4.0), 0.9)
+        t50 = model.time_to_fraction(ul(4.0), 0.5)
+        assert 0.0 < t90 < t50
+
+    def test_enclosed_sample_is_stable(self):
+        model = EvaporationModel(exposed_area=mm(1) ** 2, relative_humidity=1.0)
+        assert model.time_to_fraction(ul(4.0), 0.5) == math.inf
+
+    def test_concentration_factor(self):
+        model = EvaporationModel(exposed_area=mm(1) ** 2)
+        t = model.time_to_fraction(ul(4.0), 0.8)
+        assert model.concentration_factor(ul(4.0), t) == pytest.approx(1.25)
+
+    def test_assay_budget_minutes_scale(self):
+        """Port-only exposure keeps a 4 ul drop usable for many minutes
+        -- enough for a manipulation assay, the design answer."""
+        model = EvaporationModel(exposed_area=(mm(1)) ** 2, relative_humidity=0.5)
+        budget = model.assay_budget(ul(4.0), max_concentration_factor=1.1)
+        assert budget > 300.0
+
+    def test_budget_validates(self):
+        model = EvaporationModel(exposed_area=mm(1) ** 2)
+        with pytest.raises(ValueError):
+            model.assay_budget(ul(4.0), max_concentration_factor=1.0)
+
+
+class TestDiffusionSolver:
+    def make(self, **kwargs):
+        defaults = dict(nx=21, ny=21, dx=um(50), diffusivity=5e-10)
+        defaults.update(kwargs)
+        return DiffusionSolver2D(**defaults)
+
+    def test_mass_conservation(self):
+        solver = self.make()
+        solver.inject_blob((10, 10), 3, amount=1.0)
+        mass0 = solver.total_mass()
+        solver.run(solver.max_stable_dt() * 200)
+        assert solver.total_mass() == pytest.approx(mass0, rel=1e-9)
+
+    def test_peak_decays(self):
+        solver = self.make()
+        solver.inject_blob((10, 10), 2, amount=1.0)
+        peak0 = solver.peak()
+        solver.run(solver.max_stable_dt() * 100)
+        assert solver.peak() < peak0
+
+    def test_mixing_index_decreases(self):
+        solver = self.make()
+        solver.inject_blob((10, 10), 2, amount=1.0)
+        index0 = solver.mixing_index()
+        solver.run(solver.max_stable_dt() * 200)
+        assert solver.mixing_index() < index0
+
+    def test_unstable_dt_rejected(self):
+        solver = self.make()
+        with pytest.raises(ValueError):
+            solver.step(10.0 * solver.max_stable_dt())
+
+    def test_advection_moves_centroid(self):
+        solver = self.make(velocity=(1e-4, 0.0))
+        solver.inject_blob((10, 5), 2, amount=1.0)
+
+        def centroid_x(s):
+            __, xx = np.indices(s.concentration.shape)
+            return float((xx * s.concentration).sum() / s.concentration.sum())
+
+        x0 = centroid_x(solver)
+        solver.run(solver.max_stable_dt() * 100)
+        assert centroid_x(solver) > x0
+
+    def test_time_to_mix_reasonable(self):
+        solver = self.make(nx=11, ny=11)
+        solver.inject_blob((5, 5), 2, amount=1.0)
+        elapsed = solver.time_to_mix(threshold=0.2)
+        analytic = diffusive_mixing_time(11 * um(50), 5e-10)
+        assert 0.01 * analytic < elapsed < 100.0 * analytic
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            DiffusionSolver2D(nx=2, ny=2, dx=um(50), diffusivity=5e-10)
+
+    @given(
+        radius=st.integers(1, 4),
+        steps=st.integers(1, 50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_mass_conservation_property(self, radius, steps):
+        solver = self.make(nx=15, ny=15)
+        solver.inject_blob((7, 7), radius, amount=2.5)
+        mass0 = solver.total_mass()
+        dt = solver.max_stable_dt()
+        for _ in range(steps):
+            solver.step(dt)
+        assert solver.total_mass() == pytest.approx(mass0, rel=1e-9)
+        assert np.all(solver.concentration >= -1e-12)
+
+
+class TestMixingEstimates:
+    def test_mixing_time_scales_quadratically(self):
+        assert diffusive_mixing_time(2e-3, 5e-10) == pytest.approx(
+            4.0 * diffusive_mixing_time(1e-3, 5e-10)
+        )
+
+    def test_small_scale_mixing_fast(self):
+        """Across one 20 um pitch a small molecule mixes in < 1 s."""
+        assert diffusive_mixing_time(um(20), 5e-10) < 1.0
+
+    def test_chamber_scale_mixing_slow(self):
+        """Across the 8 mm chamber it takes hours: local delivery wins."""
+        assert diffusive_mixing_time(8e-3, 5e-10) > 3600.0
+
+    def test_peclet(self):
+        assert peclet_number(1e-4, 1e-3, 5e-10) == pytest.approx(200.0)
+
+
+class TestChannelFlow:
+    def make(self):
+        return RectangularChannel(width=mm(1), height=um(100), length=mm(10))
+
+    def test_resistance_positive(self):
+        assert self.make().hydraulic_resistance() > 0.0
+
+    def test_flow_linear_in_pressure(self):
+        channel = self.make()
+        assert channel.flow_rate(200.0) == pytest.approx(2.0 * channel.flow_rate(100.0))
+
+    def test_reynolds_laminar(self):
+        """Even a strongly driven microchannel stays far below the
+        turbulence threshold (~2300) -- the regime assumption behind
+        every model here; at gentle priming pressures Re < 2."""
+        channel = self.make()
+        v_strong = channel.mean_velocity(1000.0)
+        assert channel.reynolds(v_strong) < 100.0
+        v_gentle = channel.mean_velocity(100.0)
+        assert channel.reynolds(v_gentle) < 2.0
+
+    def test_fill_time_positive(self):
+        assert self.make().fill_time(1000.0) > 0.0
+
+    def test_capillary_pressure_sign(self):
+        assert capillary_pressure(um(100), 40.0) > 0.0  # wetting
+        assert capillary_pressure(um(100), 120.0) < 0.0  # non-wetting
+
+    def test_washburn_wetting_fills(self):
+        t = washburn_fill_time(mm(10), um(100), 40.0)
+        assert 0.0 < t < 60.0
+
+    def test_washburn_nonwetting_never_fills(self):
+        assert washburn_fill_time(mm(10), um(100), 95.0) == math.inf
+
+    def test_capillary_number_small(self):
+        assert capillary_number(100e-6) < 1e-4
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            RectangularChannel(0.0, um(100), mm(10))

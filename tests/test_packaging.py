@@ -1,0 +1,230 @@
+"""Unit tests for masks, DRC, device stack, processes and cost models."""
+
+import pytest
+
+from repro.fluidics import Microchamber
+from repro.packaging import (
+    CmosDie,
+    DesignRules,
+    DeviceStack,
+    FluidicLayout,
+    GlassLid,
+    PrototypeIteration,
+    Rect,
+    chamber_layout,
+    check_port_enclosure,
+    cmos_mpw_iteration,
+    cost_ratio,
+    dry_film_iteration,
+    dry_film_process,
+    full_mask_set_iteration,
+    glass_etch_process,
+    paper_device_stack,
+    pdms_process,
+    run_drc,
+    turnaround_ratio,
+)
+from repro.physics.constants import days, mm, um
+from repro.technology import PAPER_NODE
+
+
+class TestRect:
+    def test_properties(self):
+        rect = Rect(0.0, 0.0, 2.0, 1.0)
+        assert rect.width == 2.0
+        assert rect.height == 1.0
+        assert rect.area == 2.0
+        assert rect.min_feature == 1.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Rect(0.0, 0.0, 0.0, 1.0)
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert not a.intersects(Rect(2, 0, 3, 1))  # touching edge
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(1, 1, 9, 9))
+        assert not outer.contains(Rect(5, 5, 11, 9))
+
+    def test_gap_to(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.gap_to(Rect(3, 0, 4, 1)) == pytest.approx(2.0)
+        assert a.gap_to(Rect(0.5, 0.5, 2, 2)) == 0.0
+
+    def test_expanded(self):
+        assert Rect(1, 1, 2, 2).expanded(0.5) == Rect(0.5, 0.5, 2.5, 2.5)
+
+
+class TestLayoutAndDrc:
+    def test_chamber_layout_structure(self):
+        chamber = Microchamber(mm(7), mm(7), um(100))
+        layout = chamber_layout(mm(10), mm(10), chamber)
+        assert layout.layer_count == 2
+        assert layout.layer("resist-walls").count == 4
+        assert layout.layer("lid-ports").count == 2
+
+    def test_chamber_must_fit_chip(self):
+        chamber = Microchamber(mm(12), mm(12), um(100))
+        with pytest.raises(ValueError):
+            chamber_layout(mm(10), mm(10), chamber)
+
+    def test_generated_layout_is_drc_clean(self):
+        chamber = Microchamber(mm(7), mm(7), um(100))
+        layout = chamber_layout(mm(10), mm(10), chamber)
+        rules = DesignRules(substrate=Rect(0, 0, mm(10), mm(10)))
+        report = run_drc(layout, rules)
+        assert report.clean, report.summary()
+
+    def test_min_feature_violation_detected(self):
+        layout = FluidicLayout("bad")
+        layout.layer("walls").add_rect(0, 0, um(50), mm(1))  # 50 um wall
+        report = run_drc(layout, DesignRules(min_feature=um(100)))
+        assert report.count("min-feature") == 1
+
+    def test_overlap_detected(self):
+        layout = FluidicLayout("bad")
+        walls = layout.layer("walls")
+        walls.add_rect(0, 0, mm(1), mm(1))
+        walls.add_rect(mm(0.5), mm(0.5), mm(2), mm(2))
+        report = run_drc(layout, DesignRules())
+        assert report.count("overlap") == 1
+
+    def test_min_gap_detected(self):
+        layout = FluidicLayout("bad")
+        walls = layout.layer("walls")
+        walls.add_rect(0, 0, mm(1), mm(1))
+        walls.add_rect(mm(1) + um(20), 0, mm(2), mm(1))  # 20 um gap
+        report = run_drc(layout, DesignRules(min_gap=um(100)))
+        assert report.count("min-gap") == 1
+
+    def test_substrate_violation_detected(self):
+        layout = FluidicLayout("bad")
+        layout.layer("walls").add_rect(-mm(1), 0, mm(1), mm(1))
+        rules = DesignRules(substrate=Rect(0, 0, mm(10), mm(10)))
+        report = run_drc(layout, rules)
+        assert report.count("substrate") == 1
+
+    def test_port_enclosure(self):
+        chamber = Microchamber(mm(7), mm(7), um(100))
+        layout = chamber_layout(mm(10), mm(10), chamber, port_diameter=mm(1))
+        cavity = Rect(mm(1.5), mm(1.5), mm(8.5), mm(8.5))
+        report = check_port_enclosure(layout, cavity, DesignRules())
+        assert report.clean
+
+    def test_summary_text(self):
+        layout = FluidicLayout("bad")
+        layout.layer("walls").add_rect(0, 0, um(50), mm(1))
+        report = run_drc(layout, DesignRules())
+        assert "min-feature" in report.summary()
+
+
+class TestDeviceStack:
+    def test_paper_stack_is_valid(self):
+        stack = paper_device_stack()
+        assert stack.is_valid(), stack.validate()
+
+    def test_paper_stack_volume_near_4ul(self):
+        """Fig. 3 chamber holds ~4 ul -- the paper's working drop."""
+        chamber = paper_device_stack().chamber()
+        assert chamber.volume_ul == pytest.approx(4.05, rel=0.05)
+
+    def test_cavity_covers_array(self):
+        stack = paper_device_stack()
+        assert stack.cavity_rect().contains(stack.die.array_rect)
+
+    def test_pad_intrusion_detected(self):
+        die = CmosDie(
+            width=10e-3, depth=10e-3, array_width=8e-3, array_depth=8e-3,
+            pad_clearance=1.5e-3,
+        )
+        stack = DeviceStack(die=die, lid=GlassLid(9e-3, 9e-3), chamber_margin=0.7e-3)
+        problems = stack.validate()
+        assert any("pad" in p for p in problems)
+
+    def test_small_lid_detected(self):
+        stack = paper_device_stack()
+        bad = DeviceStack(
+            die=stack.die, lid=GlassLid(3e-3, 3e-3), wall_height=stack.wall_height
+        )
+        assert any("lid" in p for p in bad.validate())
+
+    def test_array_must_fit_die(self):
+        with pytest.raises(ValueError):
+            CmosDie(width=8e-3, depth=8e-3, array_width=9e-3, array_depth=8e-3)
+
+    def test_ito_drop_small(self):
+        assert paper_device_stack().counter_electrode_drop() < 0.1
+
+
+class TestProcesses:
+    def test_dry_film_turnaround_two_three_days(self):
+        """The paper: 'two-three days from design to device'."""
+        process = dry_film_process()
+        assert days(1.5) < process.turnaround() < days(3.5)
+
+    def test_dry_film_mask_few_euros(self):
+        """The paper: masks cost 'few euros'."""
+        process = dry_film_process(mask_cost=5.0)
+        expose = [s for s in process.steps if "expose" in s.name]
+        assert expose[0].consumable_cost <= 10.0
+
+    def test_dry_film_setup_tens_of_thousands(self):
+        """The paper: set-up 'tens of thousands euros'."""
+        assert 10_000 <= dry_film_process().setup_cost <= 100_000
+
+    def test_two_layer_process_longer(self):
+        assert (
+            dry_film_process(layers=2).processing_time()
+            > dry_film_process(layers=1).processing_time()
+        )
+
+    def test_yield_accounting(self):
+        process = dry_film_process()
+        assert 0.0 < process.batch_yield() < 1.0
+        assert process.expected_cost_per_good_batch() > process.consumable_cost()
+
+    def test_comparator_processes_slower_or_pricier(self):
+        dry = dry_film_process()
+        for other in (pdms_process(), glass_etch_process()):
+            assert (
+                other.setup_cost > dry.setup_cost
+                or other.consumable_cost() > dry.consumable_cost()
+            )
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            dry_film_process(layers=3)
+
+
+class TestCostModel:
+    def test_claim_c5_cost_gap(self):
+        """CMOS prototype iterations cost >100x a dry-film iteration."""
+        fluidic = dry_film_iteration()
+        electronic = cmos_mpw_iteration(PAPER_NODE)
+        assert cost_ratio(fluidic, electronic) > 100.0
+
+    def test_claim_c5_turnaround_gap(self):
+        """CMOS turnaround is months vs 2-3 days: ratio > 20x."""
+        fluidic = dry_film_iteration()
+        electronic = cmos_mpw_iteration(PAPER_NODE)
+        assert turnaround_ratio(fluidic, electronic) > 20.0
+
+    def test_full_mask_set_pricier_than_mpw(self):
+        assert (
+            full_mask_set_iteration(PAPER_NODE).cost
+            > cmos_mpw_iteration(PAPER_NODE).cost
+        )
+
+    def test_iteration_totals(self):
+        iteration = PrototypeIteration("x", cost=10.0, turnaround=100.0, setup_cost=5.0)
+        assert iteration.total_cost(3) == pytest.approx(35.0)
+        assert iteration.total_cost(3, include_setup=False) == pytest.approx(30.0)
+        assert iteration.total_time(3) == pytest.approx(300.0)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            PrototypeIteration("x", cost=-1.0, turnaround=100.0)

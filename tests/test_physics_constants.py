@@ -1,0 +1,78 @@
+"""Unit tests for repro.physics.constants."""
+
+import math
+
+import pytest
+
+from repro.physics import constants as C
+
+
+class TestUnitHelpers:
+    def test_um_round_trip(self):
+        assert C.to_um(C.um(20.0)) == pytest.approx(20.0)
+
+    def test_um_is_metres(self):
+        assert C.um(1.0) == pytest.approx(1e-6)
+
+    def test_nm_is_metres(self):
+        assert C.nm(350.0) == pytest.approx(3.5e-7)
+
+    def test_mm(self):
+        assert C.mm(8.0) == pytest.approx(8e-3)
+
+    def test_ul_round_trip(self):
+        assert C.to_ul(C.ul(4.0)) == pytest.approx(4.0)
+
+    def test_ul_is_cubic_metres(self):
+        assert C.ul(1.0) == pytest.approx(1e-9)
+
+    def test_nl(self):
+        assert C.nl(1000.0) == pytest.approx(C.ul(1.0))
+
+    def test_capacitance_units_ordering(self):
+        assert C.pf(1.0) > C.ff(1.0) > C.af(1.0)
+
+    def test_af(self):
+        assert C.af(175.0) == pytest.approx(1.75e-16)
+
+    def test_frequency_units(self):
+        assert C.mhz(1.0) == pytest.approx(C.khz(1000.0))
+
+    def test_um_per_s(self):
+        assert C.um_per_s(100.0) == pytest.approx(1e-4)
+
+    def test_time_units(self):
+        assert C.days(1.0) == pytest.approx(24 * C.hours(1.0))
+        assert C.hours(1.0) == pytest.approx(60 * C.minutes(1.0))
+
+    def test_angular_frequency(self):
+        assert C.angular_frequency(1.0) == pytest.approx(2.0 * math.pi)
+
+
+class TestPhysicalHelpers:
+    def test_thermal_energy_room_temperature(self):
+        # kT at 25 degC is about 4.11e-21 J
+        assert C.thermal_energy() == pytest.approx(4.116e-21, rel=1e-3)
+
+    def test_thermal_energy_scales_with_temperature(self):
+        assert C.thermal_energy(2 * C.ROOM_TEMPERATURE) == pytest.approx(
+            2 * C.thermal_energy()
+        )
+
+    def test_sphere_volume_of_10um_cell(self):
+        volume = C.sphere_volume(C.um(10.0))
+        assert volume == pytest.approx(4.18879e-15, rel=1e-4)
+
+    def test_sphere_volume_radius_round_trip(self):
+        radius = C.um(7.3)
+        assert C.sphere_radius_from_volume(C.sphere_volume(radius)) == pytest.approx(
+            radius
+        )
+
+    def test_water_constants_sane(self):
+        assert 70.0 < C.WATER_RELATIVE_PERMITTIVITY < 90.0
+        assert 0.5e-3 < C.WATER_VISCOSITY < 2e-3
+        assert 900.0 < C.WATER_DENSITY < 1100.0
+
+    def test_buffer_less_conductive_than_saline(self):
+        assert C.DEP_BUFFER_CONDUCTIVITY < C.SALINE_CONDUCTIVITY

@@ -1,0 +1,119 @@
+"""Unit tests for the DEP force engine and cage physics."""
+
+import math
+
+import pytest
+
+from repro.bio import mammalian_cell, polystyrene_bead
+from repro.physics.constants import um, um_per_s
+from repro.physics.dep import DepCage, buoyant_weight, dep_force, dep_force_scale
+from repro.physics.dielectrics import water_medium
+
+
+class TestDepForce:
+    def test_sign_follows_cm(self):
+        up = dep_force(um(5), 7e-10, 0.5, 1e12)
+        down = dep_force(um(5), 7e-10, -0.5, 1e12)
+        assert up > 0 and down < 0
+
+    def test_scales_with_radius_cubed(self):
+        f1 = dep_force(um(5), 7e-10, 0.5, 1e12)
+        f2 = dep_force(um(10), 7e-10, 0.5, 1e12)
+        assert f2 / f1 == pytest.approx(8.0)
+
+    def test_force_scale_v_squared(self):
+        """The paper's central scaling: F ~ V^2 (claim C1)."""
+        f_33 = dep_force_scale(um(10), 3.3, um(20))
+        f_5 = dep_force_scale(um(10), 5.0, um(20))
+        assert f_5 / f_33 == pytest.approx((5.0 / 3.3) ** 2)
+
+    def test_force_scale_magnitude(self):
+        """A 10 um cell at 3.3 V over 20 um pitch: the dimensional upper
+        bound is nN-class; the actual force at levitation height (see
+        DepCage tests) is 10-100x lower, in the published 10-100 pN
+        regime."""
+        force = dep_force_scale(um(10), 3.3, um(20))
+        assert 1e-11 < force < 1e-8
+
+    def test_buoyant_weight_neutral_density(self):
+        assert buoyant_weight(um(10), 997.0) == pytest.approx(0.0, abs=1e-20)
+
+    def test_buoyant_weight_sign(self):
+        assert buoyant_weight(um(10), 1070.0) > 0.0
+        assert buoyant_weight(um(10), 900.0) < 0.0
+
+
+class TestDepCage:
+    def _bead_cage(self, voltage=3.3):
+        return DepCage(
+            pitch=um(20),
+            voltage=voltage,
+            lid_height=um(100),
+            particle=polystyrene_bead(um(5)),
+            medium=water_medium(),
+            frequency=1e6,
+            particle_density=1050.0,
+        )
+
+    def test_bead_is_ndep(self):
+        assert self._bead_cage().real_cm < 0.0
+
+    def test_levitation_height_reasonable(self):
+        """The cage levitates the bead somewhere inside the chamber, at
+        the scale of the electrode pitch."""
+        height = self._bead_cage().levitation_height()
+        assert height is not None
+        assert um(2) < height < um(60)
+
+    def test_levitation_is_stable_equilibrium(self):
+        cage = self._bead_cage()
+        z0 = cage.levitation_height()
+        assert cage.net_vertical_force(z0 * 0.9) > 0.0  # pushed up below
+        assert cage.net_vertical_force(z0 * 1.1) < 0.0  # pushed down above
+
+    def test_lateral_stiffness_positive(self):
+        assert self._bead_cage().lateral_stiffness() > 0.0
+
+    def test_max_drag_speed_in_paper_range_order(self):
+        """10-100 um/s is the paper's achieved range; the physics should
+        allow at least that at 3.3 V."""
+        speed = self._bead_cage().max_drag_speed()
+        assert speed >= um_per_s(10.0)
+        assert speed < um_per_s(10000.0)  # and not absurdly fast
+
+    def test_drag_speed_grows_with_voltage(self):
+        slow = self._bead_cage(voltage=1.0).max_drag_speed()
+        fast = self._bead_cage(voltage=5.0).max_drag_speed()
+        assert fast > slow
+
+    def test_pdep_particle_does_not_levitate(self):
+        """A pDEP particle (live cell at 1 MHz in low-sigma buffer) is
+        pulled to the field maxima, not levitated."""
+        cage = DepCage(
+            pitch=um(20),
+            voltage=3.3,
+            lid_height=um(100),
+            particle=mammalian_cell(),
+            medium=water_medium(0.02),
+            frequency=1e7,
+        )
+        assert cage.real_cm > 0.0
+        assert cage.levitation_height() is None
+
+    def test_weak_drive_cannot_levitate_dense_particle(self):
+        cage = DepCage(
+            pitch=um(20),
+            voltage=0.05,
+            lid_height=um(100),
+            particle=polystyrene_bead(um(5)),
+            medium=water_medium(),
+            frequency=1e6,
+            particle_density=2500.0,  # silica-dense
+        )
+        assert cage.levitation_height() is None
+
+    def test_force_vector_restoring_laterally(self):
+        cage = self._bead_cage()
+        z0 = cage.levitation_height()
+        fx, __, __ = cage.force_at(um(4), 0.0, z0)
+        assert fx < 0.0  # pulled back toward the axis

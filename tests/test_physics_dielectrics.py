@@ -1,0 +1,195 @@
+"""Unit + property tests for repro.physics.dielectrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.constants import um
+from repro.physics.dielectrics import (
+    Dielectric,
+    ShellModel,
+    clausius_mossotti,
+    crossover_frequency,
+    maxwell_garnett_mixture,
+    real_cm,
+    water_medium,
+)
+
+
+class TestDielectric:
+    def test_rejects_nonpositive_permittivity(self):
+        with pytest.raises(ValueError):
+            Dielectric(0.0, 0.1)
+
+    def test_rejects_negative_conductivity(self):
+        with pytest.raises(ValueError):
+            Dielectric(78.5, -1.0)
+
+    def test_complex_permittivity_scalar(self):
+        medium = Dielectric(80.0, 0.01)
+        eps = medium.complex_permittivity(2 * math.pi * 1e6)
+        assert eps.real == pytest.approx(80.0 * 8.854e-12, rel=1e-3)
+        assert eps.imag < 0.0  # lossy
+
+    def test_complex_permittivity_array(self):
+        medium = Dielectric(80.0, 0.01)
+        omegas = np.array([1e4, 1e6, 1e8])
+        eps = medium.complex_permittivity(omegas)
+        assert eps.shape == (3,)
+        # loss term shrinks with frequency
+        assert abs(eps[0].imag) > abs(eps[2].imag)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            Dielectric(80.0, 0.01).complex_permittivity(0.0)
+
+    def test_relaxation_time(self):
+        medium = Dielectric(78.5, 0.02)
+        tau = medium.relaxation_time()
+        assert tau == pytest.approx(medium.absolute_permittivity / 0.02)
+
+    def test_insulator_relaxation_is_infinite(self):
+        assert Dielectric(2.55, 0.0).relaxation_time() == math.inf
+
+
+class TestClausiusMossotti:
+    def test_polystyrene_in_water_is_negative(self):
+        bead = Dielectric(2.55, 2e-4)
+        assert real_cm(bead, water_medium(), 1e6) < 0.0
+
+    def test_conductive_particle_low_frequency_positive(self):
+        particle = Dielectric(60.0, 1.0)
+        medium = water_medium(0.001)
+        assert real_cm(particle, medium, 1e4) > 0.0
+
+    def test_bounds(self):
+        # Re[K] in [-0.5, 1] for arbitrary passive materials
+        for eps_p, sig_p in [(2.0, 0.0), (80.0, 2.0), (10.0, 0.05), (1000.0, 1e-6)]:
+            particle = Dielectric(eps_p, sig_p)
+            for f in [1e3, 1e5, 1e7, 1e9]:
+                k = real_cm(particle, water_medium(), f)
+                assert -0.5 - 1e-9 <= k <= 1.0 + 1e-9
+
+    @given(
+        eps_p=st.floats(1.0, 1e4),
+        sig_p=st.floats(0.0, 10.0),
+        eps_m=st.floats(1.0, 100.0),
+        sig_m=st.floats(1e-6, 10.0),
+        log_f=st.floats(2.0, 9.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_cm_bounds_property(self, eps_p, sig_p, eps_m, sig_m, log_f):
+        """Re[K] is always within [-0.5, 1] for passive materials."""
+        particle = Dielectric(eps_p, sig_p)
+        medium = Dielectric(eps_m, sig_m)
+        k = real_cm(particle, medium, 10.0**log_f)
+        assert -0.5 - 1e-9 <= k <= 1.0 + 1e-9
+
+    def test_identical_materials_give_zero(self):
+        medium = water_medium()
+        same = Dielectric(
+            medium.relative_permittivity, medium.conductivity
+        )
+        assert real_cm(same, medium, 1e6) == pytest.approx(0.0, abs=1e-12)
+
+    def test_array_frequency_input(self):
+        bead = Dielectric(2.55, 2e-4)
+        ks = real_cm(bead, water_medium(), np.logspace(3, 8, 20))
+        assert ks.shape == (20,)
+        assert np.all(ks < 0.0)
+
+
+class TestShellModel:
+    def _live_cell(self):
+        cytoplasm = Dielectric(60.0, 0.5)
+        membrane = Dielectric(6.0, 1e-7)
+        return ShellModel(cytoplasm, membrane, um(9.993), um(10.0))
+
+    def test_rejects_inverted_radii(self):
+        with pytest.raises(ValueError):
+            ShellModel(Dielectric(60, 0.5), Dielectric(6, 1e-7), um(10), um(9))
+
+    def test_radius_property(self):
+        assert self._live_cell().radius == pytest.approx(um(10.0))
+
+    def test_low_frequency_membrane_dominates(self):
+        """At low frequency an intact membrane blocks current: effective
+        conductivity is tiny, so in conductive medium the cell is nDEP."""
+        cell = self._live_cell()
+        medium = water_medium(0.1)
+        assert real_cm(cell, medium, 1e4) < 0.0
+
+    def test_high_frequency_cytoplasm_dominates(self):
+        """Above the membrane relaxation the field reaches the conductive
+        cytoplasm: pDEP in low-conductivity buffer."""
+        cell = self._live_cell()
+        medium = water_medium(0.02)
+        assert real_cm(cell, medium, 1e7) > 0.0
+
+    def test_thick_shell_limit_is_shell_material(self):
+        """outer >> inner: the equivalent sphere tends to the shell."""
+        shell = Dielectric(6.0, 1e-4)
+        model = ShellModel(Dielectric(60.0, 0.5), shell, um(0.1), um(10.0))
+        omega = 2 * math.pi * 1e6
+        eff = model.complex_permittivity(omega)
+        expected = shell.complex_permittivity(omega)
+        assert eff.real == pytest.approx(expected.real, rel=0.01)
+
+    def test_nested_shells(self):
+        """A two-shell model (wall over membrane over cytoplasm) builds."""
+        inner = ShellModel(
+            Dielectric(50.0, 0.3), Dielectric(6.0, 1e-7), um(2.7), um(2.75)
+        )
+        outer = ShellModel(inner, Dielectric(60.0, 0.014), um(2.75), um(3.0))
+        k = real_cm(outer, water_medium(), 1e6)
+        assert -0.5 <= k <= 1.0
+
+
+class TestCrossoverFrequency:
+    def test_live_cell_has_crossover(self):
+        cytoplasm = Dielectric(60.0, 0.5)
+        membrane = Dielectric(6.0, 1e-7)
+        cell = ShellModel(cytoplasm, membrane, um(9.993), um(10.0))
+        fx = crossover_frequency(cell, water_medium(0.02))
+        assert fx is not None
+        assert 1e3 < fx < 1e7
+        # at the crossover, Re[K] is ~0
+        assert abs(real_cm(cell, water_medium(0.02), fx)) < 1e-3
+
+    def test_bead_has_no_crossover(self):
+        bead = Dielectric(2.55, 2e-4)
+        assert crossover_frequency(bead, water_medium()) is None
+
+    def test_crossover_moves_with_medium_conductivity(self):
+        cytoplasm = Dielectric(60.0, 0.5)
+        membrane = Dielectric(6.0, 1e-7)
+        cell = ShellModel(cytoplasm, membrane, um(9.993), um(10.0))
+        f_low = crossover_frequency(cell, water_medium(0.01))
+        f_high = crossover_frequency(cell, water_medium(0.05))
+        assert f_low is not None and f_high is not None
+        assert f_high > f_low  # standard single-shell behaviour
+
+
+class TestMaxwellGarnett:
+    def test_zero_fraction_is_host(self):
+        host = water_medium()
+        bead = Dielectric(2.55, 2e-4)
+        omega = 2 * math.pi * 1e6
+        eps = maxwell_garnett_mixture(bead, host, 0.0, omega)
+        assert eps == pytest.approx(host.complex_permittivity(omega))
+
+    def test_low_permittivity_inclusion_lowers_mixture(self):
+        host = water_medium()
+        bead = Dielectric(2.55, 2e-4)
+        omega = 2 * math.pi * 1e6
+        eps = maxwell_garnett_mixture(bead, host, 0.1, omega)
+        assert eps.real < host.complex_permittivity(omega).real
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            maxwell_garnett_mixture(
+                Dielectric(2.55, 0.0), water_medium(), 1.5, 1e6
+            )

@@ -1,0 +1,158 @@
+"""Unit + property tests for particle motion."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.constants import um, um_per_s
+from repro.physics.motion import (
+    LangevinStepper,
+    brownian_rms_displacement,
+    diffusion_coefficient,
+    force_for_velocity,
+    max_stable_timestep,
+    sedimentation_velocity,
+    stokes_drag_coefficient,
+    terminal_velocity,
+    thermal_escape_ratio,
+    transit_time,
+)
+
+
+class TestDrag:
+    def test_drag_coefficient_10um_cell(self):
+        gamma = stokes_drag_coefficient(um(10))
+        assert gamma == pytest.approx(6 * math.pi * 0.89e-3 * 1e-5, rel=1e-6)
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            stokes_drag_coefficient(0.0)
+
+    def test_terminal_velocity_round_trip(self):
+        force = 1e-12
+        v = terminal_velocity(force, um(10))
+        assert force_for_velocity(v, um(10)) == pytest.approx(force)
+
+    def test_paper_speed_needs_piconewtons(self):
+        """Moving a 10 um cell at 100 um/s takes ~17 pN: within reach of
+        the chip's DEP force, which is the consistency the paper relies
+        on."""
+        force = force_for_velocity(um_per_s(100.0), um(10))
+        assert 1e-12 < force < 1e-10
+
+    def test_sedimentation_cell(self):
+        """A mammalian cell settles at ~micrometres per second."""
+        v = sedimentation_velocity(um(10), 1070.0)
+        assert um_per_s(1.0) < v < um_per_s(100.0)
+
+    def test_neutral_density_does_not_settle(self):
+        assert sedimentation_velocity(um(10), 997.0) == pytest.approx(0.0, abs=1e-15)
+
+
+class TestBrownian:
+    def test_diffusion_coefficient_magnitude(self):
+        """D of a 10 um particle is ~1e-14 m^2/s (Stokes-Einstein)."""
+        d = diffusion_coefficient(um(10))
+        assert 1e-15 < d < 1e-13
+
+    def test_rms_displacement_sqrt_time(self):
+        r1 = brownian_rms_displacement(um(5), 1.0)
+        r4 = brownian_rms_displacement(um(5), 4.0)
+        assert r4 / r1 == pytest.approx(2.0)
+
+    def test_cells_barely_diffuse_during_motion_step(self):
+        """In the ~1 s a cell needs to cross one pitch it diffuses only
+        a fraction of a micrometre -- cages dominate Brownian motion."""
+        rms = brownian_rms_displacement(um(10), 1.0)
+        assert rms < um(0.5)
+
+    def test_thermal_escape_ratio_large_for_typical_trap(self):
+        ratio = thermal_escape_ratio(trap_stiffness=1e-7, radius=um(5))
+        assert ratio > 100.0
+
+
+class TestTransit:
+    def test_paper_numbers(self):
+        """20 um pitch at 10-100 um/s -> 0.2 to 2 seconds per electrode."""
+        assert transit_time(um(20), um_per_s(100.0)) == pytest.approx(0.2)
+        assert transit_time(um(20), um_per_s(10.0)) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            transit_time(um(20), 0.0)
+
+
+class TestLangevinStepper:
+    def test_deterministic_drift(self):
+        stepper = LangevinStepper(radius=um(5))
+        force = 1e-12
+
+        def force_fn(pos):
+            out = np.zeros_like(pos)
+            out[:, 0] = force
+            return out
+
+        positions = np.zeros((1, 3))
+        dt = 0.01
+        final = stepper.run(positions, force_fn, dt, 100, brownian=False)
+        expected = force / stepper.drag_coefficient * dt * 100
+        assert final[0, 0] == pytest.approx(expected, rel=1e-9)
+
+    def test_brownian_msd_matches_einstein(self):
+        """Mean-square displacement of free diffusion = 2 D t per axis."""
+        stepper = LangevinStepper(radius=um(1), rng=np.random.default_rng(42))
+        n = 2000
+        positions = np.zeros((n, 3))
+        dt, steps = 0.01, 50
+        final = stepper.run(positions, lambda p: np.zeros_like(p), dt, steps)
+        msd = float(np.mean(final[:, 0] ** 2))
+        expected = 2.0 * stepper.diffusion * dt * steps
+        assert msd == pytest.approx(expected, rel=0.15)
+
+    def test_harmonic_trap_confines(self):
+        """A stiff trap holds the particle near the origin at equilibrium
+        variance kT/k."""
+        k = 1e-6
+        stepper = LangevinStepper(radius=um(5), rng=np.random.default_rng(7))
+        dt = max_stable_timestep(k, um(5))
+        positions = np.zeros((500, 3))
+        final = stepper.run(positions, lambda p: -k * p, dt, 400)
+        var = float(np.var(final[:, 0]))
+        from repro.physics.constants import thermal_energy
+
+        expected = thermal_energy() / k
+        assert var == pytest.approx(expected, rel=0.3)
+
+    def test_force_shape_mismatch_raises(self):
+        stepper = LangevinStepper(radius=um(5))
+        with pytest.raises(ValueError):
+            stepper.step(np.zeros((2, 3)), lambda p: np.zeros((3, 2)), 0.01)
+
+    def test_record_trajectory(self):
+        stepper = LangevinStepper(radius=um(5))
+        traj = stepper.run(
+            np.zeros((2, 3)), lambda p: np.zeros_like(p), 0.01, 5, record=True
+        )
+        assert traj.shape == (6, 2, 3)
+
+    @given(steps=st.integers(1, 30), n=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_force_zero_noise_stays_put(self, steps, n):
+        stepper = LangevinStepper(radius=um(5))
+        start = np.arange(n * 3, dtype=float).reshape(n, 3) * 1e-6
+        final = stepper.run(
+            start.copy(), lambda p: np.zeros_like(p), 0.01, steps, brownian=False
+        )
+        assert np.allclose(final, start)
+
+
+class TestStability:
+    def test_max_stable_timestep_positive(self):
+        assert max_stable_timestep(1e-6, um(5)) > 0.0
+
+    def test_rejects_nonpositive_stiffness(self):
+        with pytest.raises(ValueError):
+            max_stable_timestep(0.0, um(5))

@@ -1,0 +1,131 @@
+"""Unit + property tests for the noise models (claim C3 foundations)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.noise import (
+    NoiseGenerator,
+    averaged_white_noise,
+    flicker_noise_voltage,
+    johnson_noise_voltage,
+    ktc_noise_charge,
+    ktc_noise_voltage,
+    samples_for_target_snr,
+    shot_noise_current,
+    snr_after_averaging,
+    snr_db,
+)
+
+
+class TestAnalyticNoise:
+    def test_johnson_1k_1hz(self):
+        """4kTR for 1 kOhm at 1 Hz: ~4 nV RMS."""
+        v = johnson_noise_voltage(1e3, 1.0)
+        assert v == pytest.approx(4.06e-9, rel=0.02)
+
+    def test_johnson_scales_sqrt_bandwidth(self):
+        v1 = johnson_noise_voltage(1e3, 1.0)
+        v100 = johnson_noise_voltage(1e3, 100.0)
+        assert v100 / v1 == pytest.approx(10.0)
+
+    def test_ktc_50ff(self):
+        """kTC of 50 fF: ~0.45 aC charge, ~0.29 mV voltage."""
+        q = ktc_noise_charge(50e-15)
+        assert q == pytest.approx(math.sqrt(1.38e-23 * 298.15 * 50e-15), rel=1e-3)
+        v = ktc_noise_voltage(50e-15)
+        assert 2e-4 < v < 4e-4
+
+    def test_ktc_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ktc_noise_charge(0.0)
+
+    def test_shot_noise(self):
+        i = shot_noise_current(1e-9, 1e3)
+        assert i == pytest.approx(math.sqrt(2 * 1.602e-19 * 1e-9 * 1e3), rel=1e-3)
+
+    def test_flicker_band_integral(self):
+        v = flicker_noise_voltage(1e-10, 1.0, math.e)
+        assert v == pytest.approx(1e-5, rel=1e-6)
+
+    def test_flicker_rejects_bad_band(self):
+        with pytest.raises(ValueError):
+            flicker_noise_voltage(1e-10, 10.0, 1.0)
+
+
+class TestAveraging:
+    def test_sqrt_n_law(self):
+        assert averaged_white_noise(1.0, 100) == pytest.approx(0.1)
+
+    @given(n=st.integers(1, 10**6))
+    @settings(max_examples=50)
+    def test_averaging_never_increases_noise(self, n):
+        assert averaged_white_noise(1.0, n) <= 1.0
+
+    def test_snr_db(self):
+        assert snr_db(10.0, 1.0) == pytest.approx(20.0)
+        assert snr_db(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_snr_after_averaging_improves_6db_per_4x(self):
+        base = snr_after_averaging(1.0, 1.0, 1)
+        better = snr_after_averaging(1.0, 1.0, 4)
+        assert better - base == pytest.approx(6.02, abs=0.01)
+
+    def test_snr_saturates_at_floor(self):
+        huge_n = snr_after_averaging(1.0, 1.0, 10**9, floor_sigma=0.1)
+        assert huge_n == pytest.approx(snr_db(1.0, 0.1), abs=0.1)
+
+    def test_samples_for_target(self):
+        n = samples_for_target_snr(1.0, 1.0, 20.0)
+        assert n == 100
+
+    def test_samples_for_unreachable_target(self):
+        assert samples_for_target_snr(1.0, 1.0, 40.0, floor_sigma=0.5) is None
+
+    def test_samples_round_trip(self):
+        n = samples_for_target_snr(0.01, 0.3, 12.0)
+        achieved = snr_after_averaging(0.01, 0.3, n)
+        assert achieved >= 12.0 - 1e-9
+
+
+class TestNoiseGenerator:
+    def test_white_only_statistics(self):
+        gen = NoiseGenerator(white_sigma=2.0, rng=np.random.default_rng(1))
+        samples = gen.sample(20000)
+        assert np.std(samples) == pytest.approx(2.0, rel=0.05)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.1)
+
+    def test_white_noise_averages_down(self):
+        gen = NoiseGenerator(white_sigma=1.0, rng=np.random.default_rng(2))
+        blocks = gen.sample(64 * 256).reshape(64, 256).mean(axis=1)
+        assert np.std(blocks) == pytest.approx(1.0 / 16.0, rel=0.3)
+
+    def test_flicker_does_not_average_like_white(self):
+        """With a strong slow component, block means stay noisy."""
+        gen = NoiseGenerator(
+            white_sigma=0.1,
+            flicker_sigma=1.0,
+            flicker_correlation=0.9999,
+            rng=np.random.default_rng(3),
+        )
+        blocks = gen.sample(64 * 256).reshape(64, 256).mean(axis=1)
+        # far above the sqrt(N) prediction for white noise of sigma 0.1+1.0
+        white_prediction = math.hypot(0.1, 1.0) / 16.0
+        assert np.std(blocks) > 3.0 * white_prediction
+
+    def test_deterministic_with_seed(self):
+        a = NoiseGenerator(white_sigma=1.0, rng=np.random.default_rng(5)).sample(10)
+        b = NoiseGenerator(white_sigma=1.0, rng=np.random.default_rng(5)).sample(10)
+        assert np.allclose(a, b)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NoiseGenerator(white_sigma=-1.0)
+
+    def test_rejects_bad_n(self):
+        gen = NoiseGenerator(white_sigma=1.0)
+        with pytest.raises(ValueError):
+            gen.sample(0)

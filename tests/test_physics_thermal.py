@@ -1,0 +1,84 @@
+"""Unit tests for the thermal bounds."""
+
+import pytest
+
+from repro.physics.thermal import (
+    ChipThermalModel,
+    electrothermal_velocity_scale,
+    joule_heating_density,
+    joule_power,
+    temperature_rise_scale,
+)
+
+
+class TestJouleHeating:
+    def test_density(self):
+        assert joule_heating_density(0.02, 1e5) == pytest.approx(0.02 * 1e10)
+
+    def test_rejects_negative_conductivity(self):
+        with pytest.raises(ValueError):
+            joule_heating_density(-0.1, 1e5)
+
+    def test_chamber_power_small_in_dep_buffer(self):
+        """3.3 V across 100 um in a 4 ul drop of 0.02 S/m buffer: ~90 mW
+        class upper bound (uniform-field overestimate)."""
+        power = joule_power(0.02, 3.3, 4e-9, 100e-6)
+        assert 1e-3 < power < 1.0
+
+
+class TestTemperatureRise:
+    def test_paper_operating_point_negligible(self):
+        """0.02 S/m at 3.3 V: ~45 mK rise -- actuation does not cook
+        the cells."""
+        dt = temperature_rise_scale(0.02, 3.3)
+        assert dt < 0.1
+
+    def test_saline_at_high_voltage_is_kelvin_scale(self):
+        dt = temperature_rise_scale(1.6, 10.0)
+        assert 1.0 < dt < 100.0
+
+    def test_quadratic_in_voltage(self):
+        assert temperature_rise_scale(0.02, 6.6) == pytest.approx(
+            4.0 * temperature_rise_scale(0.02, 3.3)
+        )
+
+
+class TestElectrothermalFlow:
+    def test_negligible_at_paper_operating_point(self):
+        """ET slip velocity far below the DEP manipulation speed."""
+        u = electrothermal_velocity_scale(0.02, 3.3, 1e6, 20e-6)
+        assert u < 10e-6  # below 10 um/s
+
+    def test_grows_steeply_with_voltage(self):
+        low = electrothermal_velocity_scale(0.1, 2.0, 1e5, 20e-6)
+        high = electrothermal_velocity_scale(0.1, 8.0, 1e5, 20e-6)
+        assert high > 50.0 * low  # ~V^4
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            electrothermal_velocity_scale(0.1, 2.0, 1e5, 0.0)
+
+
+class TestChipThermalModel:
+    def test_temperature_rise(self):
+        model = ChipThermalModel(electronics_power=0.1, thermal_resistance=40.0)
+        assert model.temperature_rise() == pytest.approx(4.0)
+
+    def test_biocompatible_at_modest_power(self):
+        model = ChipThermalModel(electronics_power=0.1, thermal_resistance=40.0)
+        assert model.is_biocompatible()
+
+    def test_not_biocompatible_at_high_power(self):
+        model = ChipThermalModel(electronics_power=1.0, thermal_resistance=40.0)
+        assert not model.is_biocompatible()
+
+    def test_max_electronics_power_budget(self):
+        model = ChipThermalModel(
+            electronics_power=0.0, buffer_power=0.05, thermal_resistance=40.0
+        )
+        budget = model.max_electronics_power()
+        assert budget == pytest.approx(10.0 / 40.0 - 0.05)
+
+    def test_chip_temperature_absolute(self):
+        model = ChipThermalModel(electronics_power=0.1, thermal_resistance=40.0)
+        assert model.chip_temperature() == pytest.approx(298.15 + 4.0)

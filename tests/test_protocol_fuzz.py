@@ -1,0 +1,97 @@
+"""Property-based fuzzing of the protocol -> compiler -> executor stack.
+
+Hypothesis generates random *valid* protocols (random traps on a legal
+lattice, random moves/senses/incubations/merges/releases respecting
+handle liveness); the property is that the whole stack accepts them:
+validation passes, compilation produces a dependency- and
+capacity-valid schedule, and execution on a simulated chip completes
+with matching event counts and all invariants intact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Biochip, Executor, Protocol
+from repro.bio import polystyrene_bead
+from repro.core.compiler import compile_protocol
+from repro.physics.constants import um
+
+
+LATTICE = [(r, c) for r in range(2, 30, 4) for c in range(2, 30, 4)]
+
+
+@st.composite
+def random_protocol(draw):
+    """A random protocol that is valid by construction."""
+    n_handles = draw(st.integers(1, 6))
+    sites = draw(
+        st.permutations(LATTICE).map(lambda p: list(p)[:n_handles])
+    )
+    protocol = Protocol("fuzz")
+    live = []
+    for i, site in enumerate(sites):
+        handle = f"h{i}"
+        particle = polystyrene_bead(um(5)) if draw(st.booleans()) else None
+        protocol.trap(handle, site, particle)
+        live.append(handle)
+
+    n_ops = draw(st.integers(0, 10))
+    for _ in range(n_ops):
+        if not live:
+            break
+        action = draw(st.sampled_from(["move", "sense", "incubate", "release", "merge"]))
+        handle = draw(st.sampled_from(live))
+        if action == "move":
+            goal = draw(st.sampled_from(LATTICE))
+            protocol.move(handle, goal)
+        elif action == "sense":
+            protocol.sense(handle, samples=draw(st.integers(1, 500)))
+        elif action == "incubate":
+            protocol.incubate(handle, draw(st.floats(0.0, 30.0)))
+        elif action == "release":
+            protocol.release(handle)
+            live.remove(handle)
+        elif action == "merge" and len(live) >= 2:
+            other = draw(st.sampled_from([h for h in live if h != handle]))
+            protocol.merge(handle, other)
+            live.remove(other)
+    for handle in live:
+        protocol.release(handle)
+    return protocol
+
+
+class TestProtocolFuzz:
+    @given(protocol=random_protocol())
+    @settings(max_examples=30, deadline=None)
+    def test_random_protocols_validate_and_compile(self, protocol):
+        assert protocol.validate()
+        chip_grid = Biochip.small_chip(rows=32, cols=32).grid
+        program = compile_protocol(protocol, chip_grid)
+        assert program.schedule.validate(program.graph, program.binder)
+        assert len(program.graph) == len(protocol)
+        assert program.makespan >= 0.0
+
+    @given(protocol=random_protocol(), seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_random_protocols_execute(self, protocol, seed):
+        """Execution completes; every event executed once; all cages
+        released at the end (the generator releases survivors); the
+        separation invariant held throughout (CageManager enforces it,
+        executor routing never violates it)."""
+        chip = Biochip.small_chip(rows=32, cols=32, seed=seed)
+        try:
+            result = Executor(chip).run(protocol)
+        except Exception as exc:  # noqa: BLE001 - report generated case
+            # moves may legitimately fail only if two handles target
+            # overlapping goals; the compiler cannot see that, the
+            # platform reports it as ExecutionError. Anything else is a bug.
+            from repro.core.errors import ExecutionError
+
+            assert isinstance(exc, ExecutionError), exc
+            return
+        assert result.count() == len(protocol)
+        assert chip.cage_count == 0
+        # wall time accounted and non-negative
+        assert result.wall_time >= 0.0

@@ -1,0 +1,227 @@
+"""Unit + property tests for task graphs, binding, and schedulers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import (
+    AssayGraph,
+    Binder,
+    BindingError,
+    DurationModel,
+    FcfsScheduler,
+    ListScheduler,
+    Operation,
+    OpType,
+    Resource,
+    default_chip_resources,
+)
+from repro.workloads import random_assay, serial_assay, wide_assay
+
+
+class TestDurationModel:
+    def test_move_linear_in_distance(self):
+        model = DurationModel(pitch=20e-6, cage_speed=50e-6)
+        assert model.move(10) == pytest.approx(10 * 20e-6 / 50e-6)
+
+    def test_move_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DurationModel().move(-1)
+
+    def test_sense_linear_in_samples(self):
+        model = DurationModel(sample_time=1e-4)
+        assert model.sense(1000) == pytest.approx(0.1)
+
+    def test_incubate_passthrough(self):
+        assert DurationModel().incubate(42.0) == 42.0
+
+    def test_merge_includes_overhead(self):
+        model = DurationModel()
+        assert model.merge() > model.move(2)
+
+
+class TestAssayGraph:
+    def build_diamond(self):
+        graph = AssayGraph("diamond")
+        graph.add(Operation("a", OpType.TRAP, 1.0))
+        graph.add(Operation("b", OpType.MOVE, 2.0), after=["a"])
+        graph.add(Operation("c", OpType.MOVE, 3.0), after=["a"])
+        graph.add(Operation("d", OpType.SENSE, 1.0), after=["b", "c"])
+        return graph
+
+    def test_duplicate_id_rejected(self):
+        graph = AssayGraph()
+        graph.add(Operation("a", OpType.TRAP, 1.0))
+        with pytest.raises(ValueError):
+            graph.add(Operation("a", OpType.MOVE, 1.0))
+
+    def test_missing_dependency_rejected(self):
+        graph = AssayGraph()
+        with pytest.raises(ValueError):
+            graph.add(Operation("b", OpType.MOVE, 1.0), after=["nope"])
+
+    def test_topological_order(self):
+        graph = self.build_diamond()
+        order = [op.op_id for op in graph.operations()]
+        assert order.index("a") < order.index("b")
+        assert order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_critical_path(self):
+        graph = self.build_diamond()
+        # a(1) -> c(3) -> d(1) = 5
+        assert graph.critical_path_length() == pytest.approx(5.0)
+
+    def test_total_work(self):
+        assert self.build_diamond().total_work() == pytest.approx(7.0)
+
+    def test_bottom_levels(self):
+        levels = self.build_diamond().bottom_levels()
+        assert levels["d"] == pytest.approx(1.0)
+        assert levels["a"] == pytest.approx(5.0)
+
+    def test_roots(self):
+        assert self.build_diamond().roots() == ["a"]
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("x", OpType.MOVE, -1.0)
+
+
+class TestBinder:
+    def test_default_resources_cover_all_ops(self):
+        binder = Binder()
+        for op_type in OpType:
+            operation = Operation("x", op_type, 1.0)
+            assert binder.candidates(operation)
+
+    def test_pinned_region(self):
+        binder = Binder()
+        operation = Operation("x", OpType.MOVE, 1.0, region="zone1")
+        assert [r.name for r in binder.candidates(operation)] == ["zone1"]
+
+    def test_pinned_wrong_type_rejected(self):
+        binder = Binder()
+        operation = Operation("x", OpType.SENSE, 1.0, region="zone0")
+        with pytest.raises(BindingError):
+            binder.candidates(operation)
+
+    def test_unknown_region_rejected(self):
+        binder = Binder()
+        operation = Operation("x", OpType.MOVE, 1.0, region="mars")
+        with pytest.raises(BindingError):
+            binder.candidates(operation)
+
+    def test_duplicate_resource_names_rejected(self):
+        manipulation = frozenset({OpType.MOVE})
+        with pytest.raises(ValueError):
+            Binder([Resource("a", 1, manipulation), Resource("a", 1, manipulation)])
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource("z", 0, frozenset({OpType.MOVE}))
+
+
+class TestSchedulers:
+    def test_list_schedule_valid_on_random_assay(self):
+        graph = random_assay(n_chains=12, seed=1)
+        binder = Binder()
+        schedule = ListScheduler(binder).schedule(graph)
+        assert schedule.validate(graph, binder)
+
+    def test_fcfs_schedule_valid_on_random_assay(self):
+        graph = random_assay(n_chains=12, seed=1)
+        binder = Binder()
+        schedule = FcfsScheduler(binder).schedule(graph)
+        assert schedule.validate(graph, binder)
+
+    def test_makespan_at_least_critical_path(self):
+        graph = random_assay(n_chains=8, seed=2)
+        binder = Binder()
+        schedule = ListScheduler(binder).schedule(graph)
+        assert schedule.makespan >= graph.critical_path_length() - 1e-9
+
+    def test_serial_chain_makespan_equals_work(self):
+        graph = serial_assay(n_steps=10, seed=0)
+        binder = Binder()
+        schedule = ListScheduler(binder).schedule(graph)
+        assert schedule.makespan == pytest.approx(graph.total_work())
+
+    def test_wide_graph_parallelises(self):
+        graph = wide_assay(n_parallel=32, seed=0)
+        binder = Binder()
+        schedule = ListScheduler(binder).schedule(graph)
+        assert schedule.makespan < 0.5 * graph.total_work()
+
+    def test_list_no_worse_than_fcfs_with_tight_sensing(self):
+        """With a sensing bottleneck the list scheduler beats or matches
+        FCFS (experiment X2's expected direction)."""
+        binder = Binder(default_chip_resources(zones=2, cages_per_zone=8,
+                                               sense_channels=1, loaders=1))
+        worse = better = 0
+        for seed in range(8):
+            graph = random_assay(n_chains=10, seed=seed, sense_samples=50000)
+            fcfs = FcfsScheduler(binder).schedule(graph).makespan
+            lst = ListScheduler(binder).schedule(graph).makespan
+            if lst <= fcfs + 1e-9:
+                better += 1
+            else:
+                worse += 1
+        assert better >= worse
+
+    def test_utilisation_bounds(self):
+        graph = random_assay(n_chains=10, seed=3)
+        binder = Binder()
+        schedule = ListScheduler(binder).schedule(graph)
+        for value in schedule.utilisation(binder).values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_schedule_entry_lookup(self):
+        graph = serial_assay(n_steps=3, seed=0)
+        binder = Binder()
+        schedule = ListScheduler(binder).schedule(graph)
+        assert schedule.entry("s0").start == pytest.approx(0.0)
+        with pytest.raises(KeyError):
+            schedule.entry("nope")
+
+    def test_validate_catches_dependency_violation(self):
+        graph = AssayGraph()
+        graph.add(Operation("a", OpType.MOVE, 1.0))
+        graph.add(Operation("b", OpType.MOVE, 1.0), after=["a"])
+        binder = Binder()
+        schedule = ListScheduler(binder).schedule(graph)
+        # corrupt: start b before a ends
+        from repro.scheduling.schedulers import Schedule, ScheduledOp
+
+        bad = Schedule(entries=[
+            ScheduledOp("a", "zone0", 0.0, 1.0),
+            ScheduledOp("b", "zone0", 0.5, 1.5),
+        ])
+        with pytest.raises(ValueError):
+            bad.validate(graph, binder)
+
+    def test_validate_catches_capacity_violation(self):
+        graph = AssayGraph()
+        graph.add(Operation("a", OpType.SENSE, 1.0))
+        graph.add(Operation("b", OpType.SENSE, 1.0))
+        binder = Binder(default_chip_resources(sense_channels=1))
+        from repro.scheduling.schedulers import Schedule, ScheduledOp
+
+        bad = Schedule(entries=[
+            ScheduledOp("a", "sense-bank", 0.0, 1.0),
+            ScheduledOp("b", "sense-bank", 0.5, 1.5),
+        ])
+        with pytest.raises(ValueError):
+            bad.validate(graph, binder)
+
+    @given(seed=st.integers(0, 100), n_chains=st.integers(2, 14))
+    @settings(max_examples=25, deadline=None)
+    def test_schedules_always_valid_property(self, seed, n_chains):
+        """Property: both schedulers produce dependency- and
+        capacity-correct schedules on arbitrary random assays."""
+        graph = random_assay(n_chains=n_chains, seed=seed)
+        binder = Binder()
+        for scheduler in (ListScheduler(binder), FcfsScheduler(binder)):
+            schedule = scheduler.schedule(graph)
+            assert schedule.validate(graph, binder)
+            assert schedule.makespan >= graph.critical_path_length() - 1e-9

@@ -1,0 +1,133 @@
+"""Unit tests for detection, ROC and localisation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.array import ElectrodeGrid
+from repro.physics.constants import um
+from repro.sensing import (
+    ConfusionMatrix,
+    ThresholdDetector,
+    centroid_localisation,
+    detection_probability,
+    evaluate_detector,
+    q_function,
+    roc_curve,
+    threshold_for_false_alarm,
+)
+
+
+class TestGaussianDetection:
+    def test_q_function_values(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+        assert q_function(3.0) == pytest.approx(0.00135, rel=0.01)
+
+    def test_threshold_for_false_alarm(self):
+        thr = threshold_for_false_alarm(1.0, 0.001)
+        assert q_function(thr) == pytest.approx(0.001, rel=1e-6)
+
+    def test_threshold_validates(self):
+        with pytest.raises(ValueError):
+            threshold_for_false_alarm(1.0, 0.7)
+        with pytest.raises(ValueError):
+            threshold_for_false_alarm(0.0, 0.01)
+
+    def test_detection_probability_improves_with_snr(self):
+        thr = threshold_for_false_alarm(1.0, 0.001)
+        weak = detection_probability(1.0, 1.0, thr)
+        strong = detection_probability(6.0, 1.0, thr)
+        assert strong > weak
+        assert strong > 0.99
+
+    def test_roc_monotone(self):
+        points = roc_curve(signal=3.0, noise_rms=1.0, n_points=40)
+        pfa = [p for p, __ in points]
+        pd = [d for __, d in points]
+        # sweeping threshold downward raises both rates together
+        assert all(a >= b - 1e-12 for a, b in zip(pfa, pfa[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(pd, pd[1:]))
+
+    def test_roc_detection_dominates_false_alarm(self):
+        """For positive signal, Pd >= Pfa at every threshold."""
+        for pfa, pd in roc_curve(signal=2.0, noise_rms=1.0):
+            assert pd >= pfa - 1e-12
+
+
+class TestThresholdDetector:
+    def test_magnitude_mode(self):
+        detector = ThresholdDetector(threshold=0.5)
+        assert detector.decide(0.6)
+        assert detector.decide(-0.6)
+        assert not detector.decide(0.4)
+
+    def test_polarity_modes(self):
+        positive = ThresholdDetector(threshold=0.5, polarity=1)
+        negative = ThresholdDetector(threshold=0.5, polarity=-1)
+        assert positive.decide(0.6) and not positive.decide(-0.6)
+        assert negative.decide(-0.6) and not negative.decide(0.6)
+
+    def test_decide_map(self):
+        detector = ThresholdDetector(threshold=0.5)
+        out = detector.decide_map(np.array([0.1, 0.9, -0.7]))
+        assert out.tolist() == [False, True, True]
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            ThresholdDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            ThresholdDetector(threshold=0.5, polarity=2)
+
+
+class TestConfusionMatrix:
+    def test_record_and_rates(self):
+        matrix = ConfusionMatrix()
+        matrix.record(True, True)
+        matrix.record(True, False)
+        matrix.record(False, False)
+        matrix.record(False, True)
+        assert matrix.total == 4
+        assert matrix.sensitivity == pytest.approx(0.5)
+        assert matrix.specificity == pytest.approx(0.5)
+        assert matrix.accuracy == pytest.approx(0.5)
+
+    def test_evaluate_detector(self):
+        readings = np.array([[0.9, 0.1], [0.05, -0.8]])
+        truth = np.array([[True, False], [False, True]])
+        matrix = evaluate_detector(ThresholdDetector(0.5), readings, truth)
+        assert matrix.true_positive == 2
+        assert matrix.true_negative == 2
+        assert matrix.accuracy == 1.0
+
+    def test_evaluate_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_detector(
+                ThresholdDetector(0.5), np.zeros((2, 2)), np.zeros((3, 3), dtype=bool)
+            )
+
+
+class TestLocalisation:
+    def test_single_bright_pixel(self):
+        grid = ElectrodeGrid(8, 8, um(20))
+        readings = np.zeros((3, 3))
+        readings[1, 1] = 1.0
+        x, y = centroid_localisation(readings, origin=(2, 4), pitch=grid.pitch)
+        assert x == pytest.approx((4 + 1 + 0.5) * grid.pitch)
+        assert y == pytest.approx((2 + 1 + 0.5) * grid.pitch)
+
+    def test_subpixel_interpolation(self):
+        readings = np.zeros((1, 3))
+        readings[0, 1] = 1.0
+        readings[0, 2] = 1.0
+        x, __ = centroid_localisation(readings, origin=(0, 0), pitch=1.0)
+        assert x == pytest.approx(2.0)  # between pixel centres 1.5 and 2.5
+
+    def test_negative_signals_use_magnitude(self):
+        readings = np.array([[0.0, -1.0, 0.0]])
+        x, __ = centroid_localisation(readings, pitch=1.0)
+        assert x == pytest.approx(1.5)
+
+    def test_zero_intensity_raises(self):
+        with pytest.raises(ValueError):
+            centroid_localisation(np.zeros((3, 3)))

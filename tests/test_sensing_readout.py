@@ -1,0 +1,193 @@
+"""Unit tests for the readout chain, averaging, calibration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bio import mammalian_cell, polystyrene_bead
+from repro.physics.constants import um
+from repro.physics.dielectrics import water_medium
+from repro.physics.noise import NoiseGenerator
+from repro.sensing import (
+    AnalogToDigital,
+    CalibrationTable,
+    CapacitiveReadoutChain,
+    CapacitiveSensor,
+    ChargeAmplifier,
+    FixedPatternModel,
+    averaging_budget,
+    block_average,
+    calibrate,
+    effective_bits_gain,
+    empirical_noise_vs_averaging,
+    moving_average,
+    residual_fpn,
+)
+
+
+def make_chain(seed=0, **amp_kwargs):
+    sensor = CapacitiveSensor(
+        pixel_pitch=um(20), chamber_height=um(100), medium=water_medium()
+    )
+    return CapacitiveReadoutChain(
+        sensor=sensor,
+        amplifier=ChargeAmplifier(**amp_kwargs),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestChargeAmplifier:
+    def test_gain(self):
+        amp = ChargeAmplifier(feedback_capacitance=50e-15)
+        assert amp.gain() == pytest.approx(2e13)
+
+    def test_output_voltage(self):
+        amp = ChargeAmplifier(feedback_capacitance=50e-15)
+        assert amp.output_voltage(1e-15) == pytest.approx(0.02)
+
+    def test_rejects_bad_cf(self):
+        with pytest.raises(ValueError):
+            ChargeAmplifier(feedback_capacitance=0.0)
+
+
+class TestAnalogToDigital:
+    def test_lsb(self):
+        adc = AnalogToDigital(bits=10, full_scale=1.0)
+        assert adc.lsb == pytest.approx(1.0 / 1024.0)
+
+    def test_quantise_is_idempotent_on_code_centres(self):
+        adc = AnalogToDigital(bits=8)
+        v = adc.quantise(0.37)
+        assert adc.quantise(v) == pytest.approx(v)
+
+    def test_clipping(self):
+        adc = AnalogToDigital(bits=8, full_scale=1.0)
+        assert adc.quantise(2.0) <= 1.0
+        assert adc.quantise(-1.0) >= 0.0
+
+    def test_quantisation_noise(self):
+        adc = AnalogToDigital(bits=10)
+        assert adc.quantisation_noise_rms() == pytest.approx(
+            adc.lsb / math.sqrt(12.0)
+        )
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            AnalogToDigital(bits=0)
+
+
+class TestReadoutChain:
+    def test_empty_pixel_reads_near_zero(self):
+        chain = make_chain()
+        reading = chain.averaged_reading(None, n_samples=5000)
+        assert abs(reading) < 5.0 * chain.noise_floor() / math.sqrt(5000) + chain.adc.lsb
+
+    def test_cell_reading_matches_signal(self):
+        chain = make_chain()
+        cell = mammalian_cell()
+        reading = chain.averaged_reading(cell, n_samples=5000)
+        expected = chain.signal_voltage(cell)
+        assert reading == pytest.approx(expected, abs=3e-4)
+
+    def test_single_sample_snr_below_averaged(self):
+        """One sample of a bead signal is marginal; averaging rescues it
+        -- exactly the paper's time-for-quality trade."""
+        chain = make_chain()
+        bead = polystyrene_bead(um(5))
+        snr1 = chain.single_sample_snr(bead)
+        assert snr1 < 10.0  # marginal single-shot
+
+    def test_averaging_reduces_spread(self):
+        cell = mammalian_cell()
+        readings_1 = [
+            make_chain(seed).averaged_reading(cell, n_samples=1) for seed in range(40)
+        ]
+        readings_100 = [
+            make_chain(seed).averaged_reading(cell, n_samples=100)
+            for seed in range(40)
+        ]
+        assert np.std(readings_100) < 0.5 * np.std(readings_1)
+
+    def test_deterministic_given_seed(self):
+        a = make_chain(7).sample_pixel(mammalian_cell(), n_samples=16)
+        b = make_chain(7).sample_pixel(mammalian_cell(), n_samples=16)
+        assert np.allclose(a, b)
+
+    def test_time_per_sample_default(self):
+        assert make_chain().time_per_sample() == pytest.approx(1e-6)
+
+
+class TestAveraging:
+    def test_block_average_shape(self):
+        means = block_average(np.arange(10.0), 3)
+        assert means.shape == (3,)
+        assert means[0] == pytest.approx(1.0)
+
+    def test_block_average_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            block_average(np.arange(4.0), 0)
+
+    def test_moving_average(self):
+        out = moving_average(np.array([1.0, 2.0, 3.0, 4.0]), 2)
+        assert np.allclose(out, [1.5, 2.5, 3.5])
+
+    def test_moving_average_short_input(self):
+        assert moving_average(np.array([1.0]), 4).size == 0
+
+    def test_empirical_sqrt_n_for_white_noise(self):
+        """Measured block-mean RMS follows sigma/sqrt(N)."""
+        gen = NoiseGenerator(white_sigma=1.0, rng=np.random.default_rng(11))
+        curve = empirical_noise_vs_averaging(gen, max_block=64, n_samples=64 * 256)
+        blocks, rms = zip(*curve)
+        from repro.analysis import fit_power_law
+
+        __, exponent = fit_power_law(blocks, rms)
+        assert exponent == pytest.approx(-0.5, abs=0.1)
+
+    def test_effective_bits(self):
+        assert effective_bits_gain(4) == pytest.approx(1.0)
+        assert effective_bits_gain(1024) == pytest.approx(5.0)
+
+    def test_averaging_budget_paper_numbers(self):
+        """1 s motion step, 1 us samples, 50% duty -> 500k samples."""
+        assert averaging_budget(1.0, 1e-6, duty=0.5) == 500_000
+
+    def test_averaging_budget_floor(self):
+        assert averaging_budget(1e-9, 1.0) == 1
+
+
+class TestCalibration:
+    def test_calibration_removes_fpn(self):
+        fpn = FixedPatternModel(
+            shape=(16, 16), offset_sigma=5e-3, gain_sigma=0.05,
+            rng=np.random.default_rng(3),
+        )
+        table = calibrate(fpn, dark_frames=200, reference_frames=200,
+                          reference_level=0.5)
+        residual = residual_fpn(fpn, table, probe_level=0.25)
+        assert residual < 1e-3  # well below the 5 mV raw offsets
+
+    def test_more_frames_better_calibration(self):
+        fpn_a = FixedPatternModel(shape=(8, 8), rng=np.random.default_rng(4))
+        fpn_b = FixedPatternModel(shape=(8, 8), rng=np.random.default_rng(4))
+        rough = calibrate(fpn_a, 4, 4, 0.5)
+        fine = calibrate(fpn_b, 400, 400, 0.5)
+        assert residual_fpn(fpn_b, fine, 0.25) < residual_fpn(fpn_a, rough, 0.25)
+
+    def test_apply_shape_check(self):
+        fpn = FixedPatternModel(shape=(4, 4))
+        with pytest.raises(ValueError):
+            fpn.apply(np.zeros((3, 3)))
+
+    def test_correct_shape_check(self):
+        table = CalibrationTable(offsets=np.zeros((4, 4)), gains=np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            table.correct(np.zeros((5, 5)))
+
+    def test_calibrate_validates_inputs(self):
+        fpn = FixedPatternModel(shape=(4, 4))
+        with pytest.raises(ValueError):
+            calibrate(fpn, 0, 10, 0.5)
+        with pytest.raises(ValueError):
+            calibrate(fpn, 10, 10, -1.0)

@@ -1,0 +1,155 @@
+"""Unit + property tests for dielectric-spectroscopy classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio import (
+    bacterium,
+    mammalian_cell,
+    polystyrene_bead,
+    yeast_cell,
+)
+from repro.physics.dielectrics import water_medium
+from repro.sensing import (
+    SpectrumClassifier,
+    cm_spectrum,
+    discriminating_frequencies,
+    measure_spectrum,
+)
+
+
+def standard_library():
+    return {
+        "live cell": mammalian_cell(viable=True),
+        "dead cell": mammalian_cell(viable=False),
+        "bead": polystyrene_bead(),
+    }
+
+
+class TestSpectrum:
+    def test_cm_spectrum_shape_and_bounds(self):
+        spectrum = cm_spectrum(mammalian_cell(), water_medium(), [1e4, 1e5, 1e6])
+        assert spectrum.shape == (3,)
+        assert np.all(spectrum >= -0.5 - 1e-9)
+        assert np.all(spectrum <= 1.0 + 1e-9)
+
+    def test_measure_zero_sigma_is_truth(self):
+        freqs = [1e5, 1e6]
+        truth = cm_spectrum(polystyrene_bead(), water_medium(), freqs)
+        measured = measure_spectrum(polystyrene_bead(), water_medium(), freqs, sigma=0.0)
+        assert np.allclose(measured, truth)
+
+    def test_measure_deterministic_with_seed(self):
+        freqs = [1e5, 1e6]
+        a = measure_spectrum(
+            yeast_cell(), water_medium(), freqs, rng=np.random.default_rng(1)
+        )
+        b = measure_spectrum(
+            yeast_cell(), water_medium(), freqs, rng=np.random.default_rng(1)
+        )
+        assert np.allclose(a, b)
+
+    def test_measure_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            measure_spectrum(yeast_cell(), water_medium(), [1e6], sigma=-0.1)
+
+
+class TestDiscriminatingFrequencies:
+    def test_returns_sorted_unique_probes(self):
+        probes = discriminating_frequencies(
+            [mammalian_cell(viable=True), mammalian_cell(viable=False)], water_medium(), n_probes=4
+        )
+        assert probes == sorted(probes)
+        assert len(set(probes)) == 4
+
+    def test_probes_separate_live_dead(self):
+        medium = water_medium()
+        live, dead = mammalian_cell(viable=True), mammalian_cell(viable=False)
+        probes = discriminating_frequencies([live, dead], medium, n_probes=3)
+        gap = np.abs(
+            cm_spectrum(live, medium, probes) - cm_spectrum(dead, medium, probes)
+        )
+        assert gap.max() > 0.3
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            discriminating_frequencies([mammalian_cell()], water_medium())
+        with pytest.raises(ValueError):
+            discriminating_frequencies(
+                [mammalian_cell(), polystyrene_bead()], water_medium(), n_probes=0
+            )
+
+
+class TestClassifier:
+    def test_noiseless_classification_perfect(self):
+        classifier = SpectrumClassifier(standard_library(), water_medium())
+        for label, particle in standard_library().items():
+            assert classifier.classify_particle(particle, sigma=0.0) == label
+
+    def test_noisy_classification_high_accuracy(self):
+        classifier = SpectrumClassifier(standard_library(), water_medium())
+        samples = [
+            (label, particle)
+            for label, particle in standard_library().items()
+            for _ in range(20)
+        ]
+        assert classifier.accuracy(samples, sigma=0.05, seed=0) > 0.9
+
+    def test_unknown_particle_rejected(self):
+        """A particle far from every template (a bacterium against a
+        cell/bead library) should be rejected, not force-assigned."""
+        library = {"live cell": mammalian_cell(viable=True), "bead": polystyrene_bead()}
+        classifier = SpectrumClassifier(
+            library, water_medium(), reject_distance=0.15
+        )
+        label = classifier.classify_particle(bacterium(), sigma=0.0)
+        # bacterium's spectrum differs from both templates
+        distances = [
+            classifier.distance(
+                cm_spectrum(bacterium(), water_medium(), classifier.frequencies),
+                key,
+            )
+            for key in library
+        ]
+        if min(distances) > 0.15:
+            assert label is None
+
+    def test_confusion_counts_total(self):
+        classifier = SpectrumClassifier(standard_library(), water_medium())
+        samples = [(label, p) for label, p in standard_library().items()] * 5
+        counts = classifier.confusion(samples, sigma=0.1, seed=1)
+        assert sum(counts.values()) == len(samples)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            SpectrumClassifier({}, water_medium())
+
+    def test_spectrum_length_mismatch(self):
+        classifier = SpectrumClassifier(standard_library(), water_medium())
+        with pytest.raises(ValueError):
+            classifier.distance(np.zeros(99), "bead")
+
+    def test_single_entry_library_uses_default_probes(self):
+        classifier = SpectrumClassifier(
+            {"bead": polystyrene_bead()}, water_medium()
+        )
+        assert len(classifier.frequencies) == 3
+        assert classifier.classify_particle(polystyrene_bead(), sigma=0.0) == "bead"
+
+    @given(sigma=st.floats(0.0, 0.03), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_low_noise_never_confuses_live_dead(self, sigma, seed):
+        """Property: at sigma <= 0.03 the live/dead contrast (>0.3 at
+        the chosen probes) is never misread."""
+        library = {
+            "live": mammalian_cell(viable=True),
+            "dead": mammalian_cell(viable=False),
+        }
+        classifier = SpectrumClassifier(library, water_medium())
+        rng = np.random.default_rng(seed)
+        for label, particle in library.items():
+            assert (
+                classifier.classify_particle(particle, sigma=sigma, rng=rng) == label
+            )

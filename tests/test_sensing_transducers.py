@@ -1,0 +1,122 @@
+"""Unit tests for the capacitive and optical transducer models."""
+
+import pytest
+
+from repro.bio import bacterium, mammalian_cell, polystyrene_bead
+from repro.physics.constants import af, ff, um
+from repro.physics.dielectrics import water_medium
+from repro.sensing import CapacitiveSensor, OpticalSensor
+
+
+def make_capacitive(**kwargs):
+    defaults = dict(
+        pixel_pitch=um(20), chamber_height=um(100), medium=water_medium()
+    )
+    defaults.update(kwargs)
+    return CapacitiveSensor(**defaults)
+
+
+class TestCapacitiveSensor:
+    def test_baseline_capacitance_femtofarad_class(self):
+        """20 um pixel under 100 um of water: ~2.8 fF baseline; the
+        particle perturbations below are the sub-fF/attofarad signals
+        the ISSCC'04 sensor resolves."""
+        sensor = make_capacitive()
+        baseline = sensor.baseline_capacitance()
+        assert ff(1.0) < baseline < ff(10.0)
+
+    def test_delta_c_negative_for_bead(self):
+        """Polystyrene is far less polarisable than water at any
+        frequency: capacitance drops when a bead parks over the pixel."""
+        sensor = make_capacitive()
+        assert sensor.delta_capacitance(polystyrene_bead()) < 0.0
+
+    def test_delta_c_magnitude_attofarad_class(self):
+        sensor = make_capacitive()
+        delta = abs(sensor.delta_capacitance(mammalian_cell()))
+        assert af(10.0) < delta < ff(2.0)
+
+    def test_bigger_particle_bigger_signal(self):
+        sensor = make_capacitive()
+        small = abs(sensor.delta_capacitance(bacterium()))
+        big = abs(sensor.delta_capacitance(mammalian_cell()))
+        assert big > 10.0 * small
+
+    def test_levitation_derates_signal(self):
+        sensor = make_capacitive()
+        low = abs(sensor.delta_capacitance(polystyrene_bead(), height=um(5)))
+        high = abs(sensor.delta_capacitance(polystyrene_bead(), height=um(40)))
+        assert high < low
+
+    def test_contrast_dimensionless(self):
+        sensor = make_capacitive()
+        contrast = sensor.contrast(mammalian_cell())
+        assert 0.0 < contrast < 1.0
+
+    def test_signal_charge_positive(self):
+        sensor = make_capacitive()
+        assert sensor.signal_charge(mammalian_cell()) > 0.0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            make_capacitive(pixel_pitch=0.0)
+
+
+class TestOpticalSensor:
+    def make(self, **kwargs):
+        defaults = dict(pixel_pitch=um(20))
+        defaults.update(kwargs)
+        return OpticalSensor(**defaults)
+
+    def test_photocurrent_drops_with_shading(self):
+        sensor = self.make()
+        assert sensor.photocurrent(0.5) < sensor.photocurrent(0.0)
+
+    def test_shading_bounds(self):
+        sensor = self.make()
+        with pytest.raises(ValueError):
+            sensor.photocurrent(1.5)
+
+    def test_cell_shadows_most_of_pixel(self):
+        """A 20 um cell over a 20 um pixel shades a large fraction."""
+        sensor = self.make()
+        shading = sensor.shading_fraction(mammalian_cell())
+        assert 0.3 < shading <= 1.0
+
+    def test_bacterium_shadows_little(self):
+        sensor = self.make()
+        assert sensor.shading_fraction(bacterium()) < 0.01
+
+    def test_single_sample_snr_ordering(self):
+        """Bigger particles are easier to see optically."""
+        sensor = self.make()
+        assert sensor.single_sample_snr(mammalian_cell()) > sensor.single_sample_snr(
+            bacterium()
+        )
+
+    def test_cell_detectable_in_one_sample(self):
+        """A mammalian cell gives comfortable single-shot optical SNR."""
+        sensor = self.make()
+        assert sensor.single_sample_snr(mammalian_cell()) > 10.0
+
+    def test_signal_electrons_positive(self):
+        sensor = self.make()
+        assert sensor.signal_electrons(polystyrene_bead()) > 0.0
+
+    def test_integration_time_scales_signal(self):
+        short = self.make(integration_time=1e-3)
+        long = self.make(integration_time=4e-3)
+        ratio = long.signal_electrons(mammalian_cell()) / short.signal_electrons(
+            mammalian_cell()
+        )
+        assert ratio == pytest.approx(4.0)
+
+    def test_shot_noise_sqrt_of_background(self):
+        sensor = self.make()
+        assert sensor.shot_noise_electrons() == pytest.approx(
+            sensor.background_electrons() ** 0.5
+        )
+
+    def test_rejects_bad_fill_factor(self):
+        with pytest.raises(ValueError):
+            self.make(fill_factor=0.0)

@@ -1,0 +1,129 @@
+"""Unit tests for the technology library and selection (claim C1)."""
+
+import pytest
+
+from repro.physics.constants import um, um_per_s
+from repro.technology import (
+    ApplicationRequirements,
+    NODES_BY_NAME,
+    PAPER_NODE,
+    STANDARD_NODES,
+    TechnologySelector,
+    evaluate_node,
+    get_node,
+)
+
+
+def paper_requirements(**kwargs):
+    defaults = dict(
+        cell_radius=um(10.0),
+        electrode_pitch=um(20.0),
+        target_speed=um_per_s(50.0),
+        array_side=320,
+    )
+    defaults.update(kwargs)
+    return ApplicationRequirements(**defaults)
+
+
+class TestNodeLibrary:
+    def test_nodes_ordered_oldest_first(self):
+        years = [n.year for n in STANDARD_NODES]
+        assert years == sorted(years)
+
+    def test_voltage_shrinks_with_scaling(self):
+        """The premise of claim C1: newer nodes drive less voltage."""
+        v_io = [n.io_voltage for n in STANDARD_NODES]
+        assert v_io[0] == 5.0
+        assert v_io[-1] < 2.0
+        # monotone non-increasing
+        assert all(a >= b for a, b in zip(v_io, v_io[1:]))
+
+    def test_mask_cost_grows_with_scaling(self):
+        costs = [n.mask_set_cost for n in STANDARD_NODES]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+
+    def test_get_node(self):
+        assert get_node("0.35um") is PAPER_NODE
+        with pytest.raises(ValueError):
+            get_node("5nm")
+
+    def test_paper_node_values(self):
+        assert PAPER_NODE.core_voltage == pytest.approx(3.3)
+        assert PAPER_NODE.max_drive_voltage == pytest.approx(5.0)
+
+    def test_cost_per_mm2_positive(self):
+        for node in STANDARD_NODES:
+            assert node.cost_per_mm2() > 0.0
+
+
+class TestNodeEvaluation:
+    def test_force_follows_v_squared(self):
+        req = paper_requirements()
+        old = evaluate_node(get_node("0.8um"), req)  # 5 V
+        new = evaluate_node(get_node("0.13um"), req)  # 2.5 V
+        assert old.dep_force / new.dep_force == pytest.approx(4.0)
+
+    def test_every_node_meets_cell_pitch(self):
+        """Biology sets the pitch at ~20 um; every node since the late
+        80s can draw that -- density is not the binding constraint."""
+        req = paper_requirements()
+        feasible = [evaluate_node(n, req).feasible_pitch for n in STANDARD_NODES]
+        assert sum(feasible) >= len(STANDARD_NODES) - 2
+
+    def test_speed_margin_definition(self):
+        req = paper_requirements()
+        ev = evaluate_node(PAPER_NODE, req)
+        assert ev.speed_margin == pytest.approx(ev.dep_force / ev.drag_force)
+
+    def test_paper_node_meets_requirements(self):
+        ev = evaluate_node(PAPER_NODE, paper_requirements())
+        assert ev.meets_requirements
+
+    def test_die_cost_grows_with_node(self):
+        req = paper_requirements()
+        old_cost = evaluate_node(get_node("0.35um"), req).die_cost
+        new_cost = evaluate_node(get_node("90nm"), req).die_cost
+        assert new_cost > old_cost
+
+
+class TestSelector:
+    def test_claim_c1_older_node_wins(self):
+        """The headline claim: the best node is NOT the newest one."""
+        selector = TechnologySelector(paper_requirements())
+        best = selector.best()
+        newest = STANDARD_NODES[-1]
+        assert best.node.year < newest.year
+        assert best.node.feature_size > newest.feature_size
+
+    def test_best_node_is_mid_90s_class(self):
+        """With the paper's numbers the optimum sits in the 5 V-capable
+        0.35-0.8 um window."""
+        selector = TechnologySelector(paper_requirements())
+        best = selector.best()
+        assert 0.3e-6 <= best.node.feature_size <= 1.3e-6
+
+    def test_force_vs_node_curve_monotone_with_voltage(self):
+        selector = TechnologySelector(paper_requirements())
+        curve = selector.force_vs_node()
+        for (__, v_a, f_a), (__, v_b, f_b) in zip(curve, curve[1:]):
+            if v_a > v_b:
+                assert f_a > f_b
+
+    def test_no_feasible_node_raises(self):
+        req = paper_requirements(
+            cell_radius=um(0.2),
+            electrode_pitch=um(0.5),  # below every node's pitch floor
+            target_speed=um_per_s(1000.0),
+        )
+        selector = TechnologySelector(req)
+        with pytest.raises(ValueError):
+            selector.best()
+
+    def test_evaluations_cover_all_nodes(self):
+        selector = TechnologySelector(paper_requirements())
+        assert len(selector.evaluate_all()) == len(STANDARD_NODES)
+
+    def test_fom_zero_for_infeasible(self):
+        req = paper_requirements(target_speed=1.0)  # 1 m/s: impossible
+        selector = TechnologySelector(req)
+        assert all(e.figure_of_merit == 0.0 for e in selector.evaluate_all())

@@ -1,0 +1,164 @@
+"""Unit tests for workload generators and analysis helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_table,
+    bootstrap_ci,
+    fit_power_law,
+    format_eur,
+    format_seconds,
+    format_si,
+    geometric_mean,
+    relative_error,
+    series_table,
+    summarize,
+)
+from repro.array import ElectrodeGrid
+from repro.physics.constants import um
+from repro.workloads import (
+    hotspot_workload,
+    random_assay,
+    random_permutation_workload,
+    serial_assay,
+    split_sort_workload,
+    wide_assay,
+)
+
+
+class TestAssayGenerators:
+    def test_random_assay_valid(self):
+        graph = random_assay(n_chains=10, seed=0)
+        assert graph.validate()
+        assert len(graph) >= 10 * 4
+
+    def test_random_assay_deterministic(self):
+        a = random_assay(n_chains=6, seed=5)
+        b = random_assay(n_chains=6, seed=5)
+        assert len(a) == len(b)
+        assert a.total_work() == pytest.approx(b.total_work())
+
+    def test_serial_assay_is_chain(self):
+        graph = serial_assay(n_steps=8)
+        assert graph.critical_path_length() == pytest.approx(graph.total_work())
+
+    def test_wide_assay_is_flat(self):
+        graph = wide_assay(n_parallel=8)
+        durations = [op.duration for op in graph.operations()]
+        assert graph.critical_path_length() == pytest.approx(max(durations))
+
+    def test_merge_fraction_zero(self):
+        graph = random_assay(n_chains=6, merge_fraction=0.0, seed=1)
+        from repro.scheduling import OpType
+
+        merges = [op for op in graph.operations() if op.op_type is OpType.MERGE]
+        assert not merges
+
+
+class TestRoutingWorkloads:
+    def grid(self):
+        return ElectrodeGrid(30, 30, um(20))
+
+    def test_random_permutation_legal(self):
+        requests = random_permutation_workload(self.grid(), 12, seed=0)
+        starts = [r.start for r in requests]
+        goals = [r.goal for r in requests]
+        for sites in (starts, goals):
+            for i, a in enumerate(sites):
+                for b in sites[i + 1 :]:
+                    assert max(abs(a[0] - b[0]), abs(a[1] - b[1])) >= 2
+
+    def test_split_sort_labels(self):
+        requests, labels = split_sort_workload(self.grid(), n_per_class=5, seed=0)
+        assert len(requests) == 10
+        assert sorted(labels) == [0] * 5 + [1] * 5
+        third = self.grid().cols // 3
+        for request, label in zip(requests, labels):
+            if label == 0:
+                assert request.goal[1] < third
+            else:
+                assert request.goal[1] >= self.grid().cols - third
+
+    def test_hotspot_goals_central(self):
+        g = self.grid()
+        requests = hotspot_workload(g, 8, seed=0)
+        for request in requests:
+            assert abs(request.goal[0] - g.rows // 2) <= g.rows // 2
+        assert len({r.goal for r in requests}) == 8
+
+    def test_too_many_cages_rejected(self):
+        with pytest.raises(ValueError):
+            random_permutation_workload(ElectrodeGrid(6, 6, um(20)), 100)
+
+
+class TestTables:
+    def test_format_si(self):
+        assert format_si(2.78e-15, "F") == "2.78 fF"
+        assert format_si(0.0, "V") == "0 V"
+        assert format_si(3.3, "V") == "3.3 V"
+        assert format_si(None) == "n/a"
+        assert format_si(math.inf, "s") == "inf s"
+
+    def test_format_seconds(self):
+        assert format_seconds(2e-6) == "2 us"
+        assert format_seconds(0.05) == "50 ms"
+        assert format_seconds(30.0) == "30 s"
+        assert format_seconds(7200.0) == "2 h"
+        assert format_seconds(86400.0 * 3) == "3 d"
+
+    def test_format_eur(self):
+        assert format_eur(40000) == "EUR 40,000"
+        assert format_eur(5.0) == "EUR 5"
+
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all box lines equal width
+
+    def test_ascii_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a"], [[1, 2]])
+
+    def test_series_table(self):
+        out = series_table("x", ["y"], [(1, 2), (3, 4)])
+        assert "| 1 | 2 |" in out
+
+
+class TestStats:
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["n"] == 3
+        assert stats["median"] == pytest.approx(2.0)
+
+    def test_summarize_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_bootstrap_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 1.0, size=200)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < 5.0 < hi
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_fit_power_law_recovers_exponent(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        y = 3.0 * x**-0.5
+        a, b = fit_power_law(x, y)
+        assert a == pytest.approx(3.0, rel=1e-6)
+        assert b == pytest.approx(-0.5, abs=1e-9)
+
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
