@@ -1,0 +1,86 @@
+"""Batching benchmark: N serial ``move`` calls vs one ``MoveManyCmd``.
+
+The paper's platform moves tens of thousands of DEP cages with a single
+frame reprogram per step; the v2 execution API exposes that through
+``MoveManyCmd``.  This benchmark relocates the same K-cage population
+across the paper grid both ways and records the frames programmed, the
+accounted chip time, and the host wall time -- the batch path should
+program ~K times fewer frames.
+
+Run with:  pytest benchmarks/bench_batch_moves.py --benchmark-only -s
+"""
+
+import time
+
+from conftest import report
+
+from repro import Biochip, Session
+from repro.analysis import ascii_table, format_seconds
+from repro.array import paper_grid
+from repro.workloads import batch_move_protocol, serial_move_protocol
+
+N_CAGES = 32
+FROM_COLUMN = 140
+TO_COLUMN = 180
+
+
+def _run(protocol):
+    chip = Biochip(grid=paper_grid())
+    host_start = time.perf_counter()
+    Session.simulator(chip).run(protocol)
+    host_time = time.perf_counter() - host_start
+    frames = 0
+    move_time = 0.0
+    previous_elapsed = 0.0
+    for elapsed, kind, detail in chip.history:
+        if kind == "move":
+            frames += detail["steps"]
+            move_time += elapsed - previous_elapsed
+        elif kind == "move_many":
+            frames += detail["frames"]
+            move_time += elapsed - previous_elapsed
+        previous_elapsed = elapsed
+    return frames, move_time, host_time
+
+
+def test_batch_move_vs_serial(benchmark):
+    grid = paper_grid()
+    serial_protocol = serial_move_protocol(grid, N_CAGES, FROM_COLUMN, TO_COLUMN)
+    batch_protocol = batch_move_protocol(grid, N_CAGES, FROM_COLUMN, TO_COLUMN)
+
+    serial_frames, serial_move, serial_host = _run(serial_protocol)
+    batch_frames, batch_move, batch_host = benchmark(_run, batch_protocol)
+
+    distance = TO_COLUMN - FROM_COLUMN
+    report(
+        ascii_table(
+            ["variant", "frames programmed", "move chip time", "host time"],
+            [
+                [
+                    f"{N_CAGES} serial moves",
+                    f"{serial_frames:,}",
+                    format_seconds(serial_move),
+                    format_seconds(serial_host),
+                ],
+                [
+                    "one MoveManyCmd",
+                    f"{batch_frames:,}",
+                    format_seconds(batch_move),
+                    format_seconds(batch_host),
+                ],
+                [
+                    "batch advantage",
+                    f"{serial_frames / batch_frames:.0f}x fewer",
+                    f"{serial_move / batch_move:.0f}x faster",
+                    "--",
+                ],
+            ],
+            title=f"batch vs serial: {N_CAGES} cages x {distance} electrodes "
+            f"on the 320x320 paper grid",
+        )
+    )
+    # one frame reprogram advances the whole group: frames == distance
+    assert batch_frames == distance
+    assert serial_frames == N_CAGES * distance
+    # move time collapses by ~K because the group shares each frame's dwell
+    assert batch_move * 8 < serial_move

@@ -1,13 +1,14 @@
 """Quickstart: trap, move, sense, release one particle.
 
-Runs the smallest end-to-end loop of the platform: build a simulated
-chip, write a four-step protocol against it, execute, and read back the
-measurement -- the "hello world" of the library.
+Runs the smallest end-to-end loop of the platform with the v2 session
+API: build a simulated chip, write a four-step protocol against it,
+execute through a :class:`Session`, and read back the measurement --
+the "hello world" of the library.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import Biochip, Executor, Protocol
+from repro import Biochip, Protocol, Session
 from repro.bio import mammalian_cell
 from repro.physics.constants import to_um
 
@@ -33,7 +34,8 @@ def main():
         .release("cell")
     )
 
-    result = Executor(chip).run(protocol)
+    session = Session.simulator(chip)
+    result = session.run(protocol)
     print()
     print(result.summary())
     print()
@@ -42,6 +44,12 @@ def main():
     print(f"sensor reading: {reading * 1e3:.2f} mV -> detected={detected}")
     print(f"simulated chip time: {chip.elapsed:.1f} s "
           f"(motion dominates, electronics is microseconds)")
+
+    # The same protocol costs nearly nothing on the planning backend --
+    # use Session.dry_run() to sweep protocol variants at scale.
+    dry = Session.dry_run(grid=chip.grid).run(protocol)
+    print(f"dry-run estimate: {dry.wall_time:.1f} s chip time "
+          f"(vs {result.wall_time:.1f} s simulated)")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,6 @@ import numpy as np
 from repro import Biochip
 from repro.bio import Sample, cells_per_ml, mammalian_cell, tumor_cell
 from repro.physics.constants import ul
-from repro.routing import BatchRouter, MotionPlanner, RoutingRequest
 
 
 def main():
@@ -31,37 +30,37 @@ def main():
     )
     print(f"loaded {len(cages)} cells, {n_tumor_truth} tumour cells (ground truth)")
 
-    # Screen every cage: the tumour cells' larger volume gives a much
-    # larger capacitive signal (dC ~ R^3), so a simple threshold on the
-    # averaged reading separates them.
-    readings = []
-    for cage in cages:
-        result = chip.sense(cage.cage_id, n_samples=2000)
-        readings.append((cage, abs(result.reading)))
-
-    values = np.array([v for __, v in readings])
+    # Screen every cage in one array-wide scan: the tumour cells' larger
+    # volume gives a much larger capacitive signal (dC ~ R^3), so a
+    # simple threshold on the averaged reading separates them.
+    scan = chip.sense_all(n_samples=2000)
+    values = np.array([abs(result.reading) for __, result in scan])
     threshold = values.mean() + 2.0 * values.std()
-    flagged = [cage for (cage, value) in readings if value > threshold]
+    flagged = [
+        chip.cages.cage(cage_id)
+        for (cage_id, result) in scan
+        if abs(result.reading) > threshold
+    ]
     print(f"screen: flagged {len(flagged)} candidates "
           f"(threshold {threshold * 1e3:.2f} mV)")
 
     # Discard the background (release its cages back to the bulk), then
-    # route the candidates to the recovery zone in one concurrent batch.
+    # route the candidates to the recovery zone in one frame-parallel
+    # batch move -- every candidate advances per frame reprogram.
     flagged_ids = {cage.cage_id for cage in flagged}
     for cage in list(chip.cages.cages):
         if cage.cage_id not in flagged_ids:
             chip.release(cage.cage_id)
 
     recovery_sites = [(r, c) for r in range(0, 12, 3) for c in range(0, 12, 3)]
-    requests = [
-        RoutingRequest(cage.cage_id, cage.site, site)
-        for cage, site in zip(flagged, recovery_sites)
-    ]
-    if requests:
-        plan = BatchRouter(chip.grid).plan(requests)
-        MotionPlanner(chip.cages, chip.addresser,
-                      cage_speed=chip.cage_speed).execute(plan)
-    recovered = [chip.cages.cage(r.cage_id) for r in requests]
+    goals = {
+        cage.cage_id: site for cage, site in zip(flagged, recovery_sites)
+    }
+    if goals:
+        report = chip.move_many(goals)
+        print(f"recovery routing: {report['moves']} cage-steps in "
+              f"{report['frames']} frame reprograms")
+    recovered = [chip.cages.cage(cage_id) for cage_id in goals]
     n_correct = sum(
         1 for c in recovered if c.payload is not None and "tumor" in c.payload.name
     )

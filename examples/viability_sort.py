@@ -4,20 +4,23 @@ The canonical application of the paper's platform.  Dead cells have a
 permeabilised membrane, which flips their dielectrophoretic response in
 the right frequency window; the chip senses every caged cell, classifies
 it, and routes live cells to the left bank and dead cells to the right
-bank -- thousands of cells in parallel on the real chip, a handful here.
+bank -- thousands of cells in parallel on the real chip, a couple dozen
+here.
 
-This example uses the mid-level API (cage manager + batch router)
-directly, which is what a throughput-oriented user would do.
+This example uses the v2 session API end to end: one protocol traps the
+population, scans the whole array (`sense_all`), and relocates both
+banks concurrently with a single frame-parallel `move_many` -- the
+paper's massively parallel manipulation primitive.
 
 Run with:  python examples/viability_sort.py
 """
 
 import numpy as np
 
-from repro import Biochip
+from repro import Biochip, Protocol, Session
 from repro.bio import mammalian_cell
 from repro.physics.dielectrics import water_medium
-from repro.routing import BatchRouter, MotionPlanner, RoutingRequest
+from repro.sensing import SpectrumClassifier
 
 
 def pick_operating_frequency(live, dead, medium):
@@ -40,62 +43,71 @@ def main():
     chip = Biochip.small_chip(rows=32, cols=32, seed=1)
     chip.drive_frequency = frequency
 
-    # Load a mixed population onto a lattice in the chip centre.
+    # A mixed population on a lattice in the chip centre.
     rng = np.random.default_rng(2)
-    cages, truth = [], []
-    for i, row in enumerate(range(4, 28, 4)):
-        for j, col in enumerate(range(10, 24, 4)):
+    population = []  # (handle, particle, site, truth)
+    for row in range(4, 28, 4):
+        for col in range(10, 24, 4):
             viable = bool(rng.random() < 0.6)
             particle = live if viable else dead
-            cages.append(chip.trap((row, col), particle))
-            truth.append(viable)
-    print(f"loaded {len(cages)} cells ({sum(truth)} live, "
-          f"{len(truth) - sum(truth)} dead)")
+            population.append((f"cell{len(population)}", particle, (row, col), viable))
+    n_live_truth = sum(1 for *__, v in population if v)
+    print(f"population: {len(population)} cells ({n_live_truth} live, "
+          f"{len(population) - n_live_truth} dead)")
 
     # Classify each cell by frequency-swept DEP spectroscopy: probe
     # Re[CM] at discriminating frequencies and match against the
     # live/dead template library -- a label-free assay, no ground truth.
-    from repro.sensing import SpectrumClassifier
-
-    classifier = SpectrumClassifier(
-        {"live": live, "dead": dead}, medium
-    )
+    classifier = SpectrumClassifier({"live": live, "dead": dead}, medium)
     class_rng = np.random.default_rng(7)
-    decisions = [
-        classifier.classify_particle(cage.payload, sigma=0.05, rng=class_rng)
+    decisions = {
+        handle: classifier.classify_particle(particle, sigma=0.05, rng=class_rng)
         == "live"
-        for cage in cages
-    ]
-    n_misread = sum(1 for d, t in zip(decisions, truth) if d != t)
-    print(f"spectroscopic classification: {len(cages) - n_misread}/{len(cages)} "
-          f"match ground truth")
+        for handle, particle, __, __ in population
+    }
+    n_misread = sum(
+        1 for handle, __, __, truth in population if decisions[handle] != truth
+    )
+    print(f"spectroscopic classification: {len(population) - n_misread}/"
+          f"{len(population)} match ground truth")
 
-    # Route live cells to the left bank, dead to the right, concurrently.
-    left_rows = iter(range(2, 31, 2))
-    right_rows = iter(range(2, 31, 2))
-    requests = []
-    for cage, is_live in zip(cages, decisions):
-        if is_live:
-            goal = (next(left_rows), 2)
+    # One protocol: trap everything, scan the whole array at once, then
+    # route live cells to the left bank and dead cells to the right bank
+    # in a single frame-parallel group move.
+    protocol = Protocol("viability-sort")
+    for handle, particle, site, __ in population:
+        protocol.trap(handle, site, particle)
+    protocol.sense_all(samples=2000, store_as="scan")
+    left_rows = iter(range(0, 32, 2))
+    right_rows = iter(range(0, 32, 2))
+    goals = {}
+    for handle, __, __, __ in population:
+        if decisions[handle]:
+            goals[handle] = (next(left_rows), 2)
         else:
-            goal = (next(right_rows), 29)
-        requests.append(RoutingRequest(cage.cage_id, cage.site, goal))
+            goals[handle] = (next(right_rows), 29)
+    protocol.move_many(goals)
 
-    plan = BatchRouter(chip.grid).plan(requests)
-    planner = MotionPlanner(chip.cages, chip.addresser, cage_speed=chip.cage_speed)
-    planner.execute(plan)
+    result = Session.simulator(chip).run(protocol)
+    batch = next(e for e in result.events if e.kind == "move_many")
+    print(f"sorted {batch.detail['moves']} cage-steps in "
+          f"{batch.detail['frames']} frame reprograms, "
+          f"{result.wall_time:.1f} s chip time")
 
-    print(f"sorted in {plan.makespan} frames, "
-          f"{planner.wall_clock():.1f} s chip time "
-          f"(electronics fraction {planner.electronics_fraction():.1e})")
-
-    # Verify the sort against ground truth (classification errors, if
-    # any, become sort impurities -- that is the assay's error budget).
+    # Verify the sort on the chip itself against ground truth
+    # (classification errors, if any, become sort impurities -- that is
+    # the assay's error budget).  Trap events carry the handle -> cage
+    # binding, which maps each cell onto its final site.
+    cage_of = {
+        e.detail["handle"]: e.detail["cage"]
+        for e in result.events
+        if e.kind == "trap"
+    }
     correct = 0
-    for cage, viable in zip(cages, truth):
-        on_left = cage.site[1] < chip.grid.cols // 2
-        correct += int(on_left == viable)
-    print(f"sort purity: {correct}/{len(cages)} cells on the correct bank")
+    for handle, __, __, truth in population:
+        on_left = chip.cages.cage(cage_of[handle]).site[1] < chip.grid.cols // 2
+        correct += int(on_left == truth)
+    print(f"sort purity: {correct}/{len(population)} cells on the correct bank")
 
 
 if __name__ == "__main__":

@@ -12,10 +12,10 @@ flows).
 
 Quick start::
 
-    from repro import Biochip, Protocol, Executor
+    from repro import Protocol, Session
     from repro.bio import polystyrene_bead
 
-    chip = Biochip.small_chip()
+    session = Session.simulator()
     protocol = (
         Protocol("hello-cage")
         .trap("p", site=(10, 10), particle=polystyrene_bead())
@@ -23,37 +23,53 @@ Quick start::
         .sense("p", samples=2000)
         .release("p")
     )
-    result = Executor(chip).run(protocol)
+    result = session.run(protocol)
     print(result.summary())
 """
 
 from .core import (
+    Backend,
     Biochip,
     BiochipError,
+    CommandRegistry,
+    CommandSpec,
     CompileError,
     CompiledProgram,
+    DryRunBackend,
     ExecutionError,
     Executor,
     Protocol,
     ProtocolError,
     RunResult,
+    RunSet,
     SenseResult,
+    Session,
+    SimulatorBackend,
     compile_protocol,
+    default_registry,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "Backend",
     "Biochip",
     "BiochipError",
+    "CommandRegistry",
+    "CommandSpec",
     "CompileError",
     "CompiledProgram",
+    "DryRunBackend",
     "ExecutionError",
     "Executor",
     "Protocol",
     "ProtocolError",
     "RunResult",
+    "RunSet",
     "SenseResult",
+    "Session",
+    "SimulatorBackend",
     "compile_protocol",
+    "default_registry",
     "__version__",
 ]

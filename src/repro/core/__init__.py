@@ -1,19 +1,32 @@
-"""Core platform API: Biochip, protocol DSL, compiler, executor, results."""
+"""Core platform API: Biochip, protocol DSL, registry, backends, session."""
 
+from .backend import Backend, DryRunBackend, SimulatorBackend
 from .compiler import CompiledProgram, compile_protocol
 from .errors import BiochipError, CompileError, ExecutionError, ProtocolError
 from .executor import Executor
 from .platform import Biochip, SenseResult
 from .protocol import (
+    COMMAND_TYPES,
     IncubateCmd,
     MergeCmd,
     MoveCmd,
+    MoveManyCmd,
     Protocol,
     ReleaseCmd,
+    SenseAllCmd,
     SenseCmd,
     TrapCmd,
     viability_sort_protocol,
 )
+from .registry import (
+    CommandRegistry,
+    CommandSpec,
+    ExecutionContext,
+    LoweringContext,
+    ValidationState,
+    default_registry,
+)
 from .results import RunEvent, RunResult
+from .session import RunSet, Session
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -10,6 +10,11 @@ Lowers a validated :class:`~repro.core.protocol.Protocol` to
 3. a resource-bound :class:`~repro.scheduling.schedulers.Schedule` via
    the list scheduler.
 
+Lowering is table-driven: each command's registered
+:class:`~repro.core.registry.CommandSpec` emits its own operation
+through a shared :class:`~repro.core.registry.LoweringContext`, so new
+command types compile without changes here.
+
 The result (:class:`CompiledProgram`) carries everything the executor
 needs plus the predicted makespan the run can be checked against.
 """
@@ -20,17 +25,9 @@ from dataclasses import dataclass, field
 
 from ..scheduling.binder import Binder
 from ..scheduling.schedulers import ListScheduler, Schedule
-from ..scheduling.taskgraph import AssayGraph, DurationModel, Operation, OpType
-from .errors import CompileError
-from .protocol import (
-    IncubateCmd,
-    MergeCmd,
-    MoveCmd,
-    Protocol,
-    ReleaseCmd,
-    SenseCmd,
-    TrapCmd,
-)
+from ..scheduling.taskgraph import AssayGraph, DurationModel
+from .protocol import Protocol
+from .registry import LoweringContext, default_registry
 
 
 @dataclass
@@ -42,6 +39,7 @@ class CompiledProgram:
     schedule: Schedule
     binder: Binder
     op_commands: dict = field(default_factory=dict)  # op_id -> command
+    registry: object = None  # the CommandRegistry it was compiled with
 
     @property
     def makespan(self) -> float:
@@ -61,74 +59,26 @@ class CompiledProgram:
         return [(e.start, e.op_id, self.op_commands[e.op_id]) for e in entries]
 
 
-def compile_protocol(protocol, grid, duration_model=None, binder=None) -> CompiledProgram:
+def compile_protocol(
+    protocol, grid, duration_model=None, binder=None, registry=None
+) -> CompiledProgram:
     """Compile ``protocol`` for a chip with the given ``grid``.
 
     Raises :class:`~repro.core.errors.CompileError` for geometric
     problems (off-grid sites); protocol-level semantic errors surface
     from ``protocol.validate()`` as :class:`ProtocolError`.
     """
-    protocol.validate()
+    registry = registry or default_registry
+    protocol.validate(registry=registry)
     duration_model = duration_model or DurationModel(pitch=grid.pitch)
     binder = binder or Binder()
     graph = AssayGraph(name=protocol.name)
+    ctx = LoweringContext(grid=grid, duration_model=duration_model, graph=graph)
     op_commands = {}
-    last_op = {}  # handle -> op_id of its latest operation
-    position = {}  # handle -> current (row, col)
 
     for index, cmd in enumerate(protocol.commands):
         op_id = f"{index}:{type(cmd).__name__}"
-        if isinstance(cmd, TrapCmd):
-            _check_site(grid, cmd.site, op_id)
-            operation = Operation(op_id, OpType.TRAP, duration_model.trap())
-            graph.add(operation)
-            position[cmd.handle] = cmd.site
-            last_op[cmd.handle] = op_id
-        elif isinstance(cmd, MoveCmd):
-            _check_site(grid, cmd.goal, op_id)
-            start = position[cmd.handle]
-            distance = max(abs(start[0] - cmd.goal[0]), abs(start[1] - cmd.goal[1]))
-            operation = Operation(
-                op_id,
-                OpType.MOVE,
-                duration_model.move(distance),
-                payload={"distance": distance},
-            )
-            graph.add(operation, after=[last_op[cmd.handle]])
-            position[cmd.handle] = cmd.goal
-            last_op[cmd.handle] = op_id
-        elif isinstance(cmd, MergeCmd):
-            approach = max(
-                abs(position[cmd.keep][0] - position[cmd.absorb][0]),
-                abs(position[cmd.keep][1] - position[cmd.absorb][1]),
-            )
-            operation = Operation(
-                op_id, OpType.MERGE, duration_model.merge(approach)
-            )
-            graph.add(operation, after=[last_op[cmd.keep], last_op[cmd.absorb]])
-            last_op[cmd.keep] = op_id
-            last_op.pop(cmd.absorb)
-        elif isinstance(cmd, SenseCmd):
-            operation = Operation(
-                op_id,
-                OpType.SENSE,
-                duration_model.sense(cmd.samples),
-                payload={"samples": cmd.samples},
-            )
-            graph.add(operation, after=[last_op[cmd.handle]])
-            last_op[cmd.handle] = op_id
-        elif isinstance(cmd, IncubateCmd):
-            operation = Operation(
-                op_id, OpType.INCUBATE, duration_model.incubate(cmd.seconds)
-            )
-            graph.add(operation, after=[last_op[cmd.handle]])
-            last_op[cmd.handle] = op_id
-        elif isinstance(cmd, ReleaseCmd):
-            operation = Operation(op_id, OpType.RELEASE, duration_model.release())
-            graph.add(operation, after=[last_op[cmd.handle]])
-            last_op.pop(cmd.handle)
-        else:  # pragma: no cover - validate() rejects unknown commands
-            raise CompileError(f"unsupported command {cmd!r}")
+        registry.spec_for(cmd).lower(cmd, ctx, op_id)
         op_commands[op_id] = cmd
 
     schedule = ListScheduler(binder).schedule(graph)
@@ -139,9 +89,5 @@ def compile_protocol(protocol, grid, duration_model=None, binder=None) -> Compil
         schedule=schedule,
         binder=binder,
         op_commands=op_commands,
+        registry=registry,
     )
-
-
-def _check_site(grid, site, op_id):
-    if not grid.in_bounds(*site):
-        raise CompileError(f"{op_id}: site {site} outside the {grid.rows}x{grid.cols} array")

@@ -1,32 +1,32 @@
-"""The executor: run a compiled program on a (simulated) Biochip.
+"""Legacy executor shim over the v2 session API.
 
-Walks the compiled schedule in start-time order, dispatching each
-operation to the platform (:class:`~repro.core.platform.Biochip`) --
-physical routing, caged-particle sensing through the noisy readout
-chain, merges, releases -- and collects everything into a
-:class:`~repro.core.results.RunResult`.
+.. deprecated::
+    ``Executor(chip).run(protocol)`` predates the pluggable
+    backend/session design; new code should use
+    :class:`~repro.core.session.Session`::
+
+        from repro import Session
+
+        session = Session.simulator(chip)
+        result = session.run(protocol)
+
+    The shim delegates to a :class:`Session` over a
+    :class:`~repro.core.backend.SimulatorBackend`, so the two paths
+    share one dispatch table and stay behaviourally identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .compiler import CompiledProgram, compile_protocol
-from .errors import ExecutionError
-from .protocol import (
-    IncubateCmd,
-    MergeCmd,
-    MoveCmd,
-    ReleaseCmd,
-    SenseCmd,
-    TrapCmd,
-)
+from .backend import SimulatorBackend
 from .results import RunResult
+from .session import Session
 
 
 @dataclass
 class Executor:
-    """Executes protocols on a chip.
+    """Executes protocols on a chip (deprecated; use :class:`Session`).
 
     Parameters
     ----------
@@ -38,66 +38,12 @@ class Executor:
     _cage_ids: dict = field(default_factory=dict)  # handle -> cage id
 
     def run(self, protocol_or_program) -> RunResult:
-        """Compile (if needed) and execute; returns a RunResult."""
-        if isinstance(protocol_or_program, CompiledProgram):
-            program = protocol_or_program
-        else:
-            program = compile_protocol(protocol_or_program, self.chip.grid)
-        result = RunResult(
-            protocol_name=program.protocol.name,
-            predicted_makespan=program.makespan,
-        )
-        start_elapsed = self.chip.elapsed
-        for scheduled_start, op_id, cmd in program.ordered_commands():
-            self._dispatch(op_id, cmd, result)
-        result.wall_time = self.chip.elapsed - start_elapsed
-        result.finalize()
-        return result
+        """Compile (if needed) and execute; returns a RunResult.
 
-    # -- dispatch ------------------------------------------------------------
-
-    def _dispatch(self, op_id, cmd, result):
-        if isinstance(cmd, TrapCmd):
-            cage = self.chip.trap(cmd.site, cmd.particle)
-            self._cage_ids[cmd.handle] = cage.cage_id
-            result.record(op_id, "trap", handle=cmd.handle, site=cmd.site)
-        elif isinstance(cmd, MoveCmd):
-            cage_id = self._cage_of(cmd.handle)
-            path = self.chip.move(cage_id, cmd.goal)
-            result.record(
-                op_id, "move", handle=cmd.handle, goal=cmd.goal, steps=len(path) - 1
-            )
-        elif isinstance(cmd, MergeCmd):
-            keep_id = self._cage_of(cmd.keep)
-            absorb_id = self._cage_of(cmd.absorb)
-            self.chip.merge(keep_id, absorb_id)
-            del self._cage_ids[cmd.absorb]
-            result.record(op_id, "merge", keep=cmd.keep, absorb=cmd.absorb)
-        elif isinstance(cmd, SenseCmd):
-            cage_id = self._cage_of(cmd.handle)
-            sense = self.chip.sense(cage_id, n_samples=cmd.samples)
-            key = cmd.store_as or cmd.handle
-            result.add_measurement(key, sense)
-            result.record(
-                op_id,
-                "sense",
-                handle=cmd.handle,
-                reading=sense.reading,
-                detected=sense.detected,
-            )
-        elif isinstance(cmd, IncubateCmd):
-            self.chip.incubate(cmd.seconds)
-            result.record(op_id, "incubate", handle=cmd.handle, seconds=cmd.seconds)
-        elif isinstance(cmd, ReleaseCmd):
-            cage_id = self._cage_of(cmd.handle)
-            self.chip.release(cage_id)
-            del self._cage_ids[cmd.handle]
-            result.record(op_id, "release", handle=cmd.handle)
-        else:  # pragma: no cover - compiler rejects unknown commands
-            raise ExecutionError(f"unsupported command {cmd!r}")
-
-    def _cage_of(self, handle):
-        try:
-            return self._cage_ids[handle]
-        except KeyError:
-            raise ExecutionError(f"handle {handle!r} has no live cage") from None
+        Handle bindings are reset on every call: a second protocol run
+        on the same executor starts from a clean namespace instead of
+        seeing the previous run's stale handles.
+        """
+        self._cage_ids = {}
+        session = Session(SimulatorBackend(self.chip))
+        return session.run(protocol_or_program, handles=self._cage_ids)

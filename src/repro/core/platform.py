@@ -24,6 +24,7 @@ from ..physics.constants import um
 from ..physics.dep import DepCage
 from ..physics.dielectrics import water_medium
 from ..routing.astar import ObstacleMap, RoutingError, astar_route, path_moves
+from ..routing.multi import BatchRouter, RoutingRequest
 from ..sensing.capacitive import CapacitiveSensor
 from ..sensing.readout import CapacitiveReadoutChain
 from ..technology.nodes import PAPER_NODE, TechnologyNode
@@ -205,11 +206,14 @@ class Biochip:
             for r in range(0, self.grid.rows, spacing)
             for c in range(0, self.grid.cols, spacing)
         ]
-        if len(drawn) > len(lattice):
-            raise ExecutionError(
-                f"sample has {len(drawn)} particles, array capacity is {len(lattice)}"
-            )
         free = [site for site in lattice if self.cages.cage_at(site) is None]
+        if len(drawn) > len(free):
+            # Checking against the full lattice alone would silently drop
+            # the particles beyond the *free* sites in the zip below.
+            raise ExecutionError(
+                f"sample has {len(drawn)} particles, array capacity is "
+                f"{len(lattice)} sites with {len(free)} free"
+            )
         created = []
         for drawn_particle, site in zip(drawn, free):
             created.append(self.trap(site, drawn_particle.particle))
@@ -246,6 +250,85 @@ class Biochip:
         )
         return path
 
+    def move_many(self, goals):
+        """Route a group of cages concurrently, one frame update per step.
+
+        This is the paper's massively parallel manipulation primitive:
+        a conflict-free synchronous plan is computed for the whole group
+        (:class:`~repro.routing.multi.BatchRouter`, with every
+        stationary cage held as an obstacle), then each plan step is one
+        :meth:`CageManager.step` frame update -- K cages advance per
+        reprogram, instead of K independently routed moves.
+
+        Parameters
+        ----------
+        goals:
+            Mapping of cage_id -> goal (row, col).
+
+        Returns a report dict with ``frames`` (frame reprograms issued),
+        ``moves`` (total single-cage steps), ``program_time`` and
+        ``dwell_time`` [s].  Raises ExecutionError when no conflict-free
+        plan exists.
+        """
+        requests = []
+        for cage_id, goal in goals.items():
+            cage = self.cages.cage(cage_id)
+            goal = tuple(goal)
+            if not self.grid.in_bounds(*goal):
+                raise ExecutionError(f"cage {cage_id}: goal {goal} out of bounds")
+            requests.append(RoutingRequest(cage_id, cage.site, goal))
+        # Stationary cages participate as zero-length requests so the
+        # router treats them as parked obstacles for the whole horizon.
+        # They must be planned FIRST: planned-last they would be routed
+        # around the movers' reservations -- physically dragging cages
+        # the caller asked to keep in place.
+        moving = set(goals)
+        for cage in self.cages.cages:
+            if cage.cage_id not in moving:
+                requests.append(RoutingRequest(cage.cage_id, cage.site, cage.site))
+
+        def priority(request):
+            distance = max(
+                abs(request.start[0] - request.goal[0]),
+                abs(request.start[1] - request.goal[1]),
+            )
+            return (request.cage_id in moving, -distance)
+
+        router = BatchRouter(self.grid, min_separation=self.min_separation)
+        try:
+            plan = router.plan(requests, priority=priority)
+        except RoutingError as exc:
+            raise ExecutionError(str(exc)) from exc
+        previous_frame = self.cages.frame()
+        program_time = 0.0
+        dwell_time = 0.0
+        total_moves = 0
+        for step in range(plan.makespan):
+            moves = plan.moves_at(step)
+            if not moves:
+                continue
+            self.cages.step(moves)
+            frame = self.cages.frame()
+            program_time += self.addresser.incremental_program_time(
+                previous_frame, frame
+            )
+            dwell_time += (
+                max(math.hypot(*delta) for delta in moves.values())
+                * self.grid.pitch
+                / self.cage_speed
+            )
+            total_moves += len(moves)
+            previous_frame = frame
+        report = {
+            "cages": len(goals),
+            "frames": plan.makespan,
+            "moves": total_moves,
+            "program_time": program_time,
+            "dwell_time": dwell_time,
+        }
+        self._log("move_many", dict(report), program_time + dwell_time)
+        return report
+
     def merge(self, cage_id_a, cage_id_b):
         """Bring cage b next to cage a and fuse them.
 
@@ -281,15 +364,15 @@ class Biochip:
                 return candidate
         raise ExecutionError(f"no free approach site next to {site}")
 
-    def sense(self, cage_id, n_samples=1000) -> SenseResult:
-        """Read the sensor under one cage with N-sample averaging.
+    def _sense_reading(self, cage, n_samples, duration):
+        """One cage's reading through the full physical chain.
 
-        The reading is generated by the full physical chain (transducer
-        contrast for the actual caged particle, at its levitation
-        height, through amplifier noise and ADC quantisation); detection
-        thresholds at 5x the post-averaging noise.
+        The reading uses the transducer contrast for the actual caged
+        particle, at its levitation height, through amplifier noise and
+        ADC quantisation; detection thresholds at 5x the post-averaging
+        noise.  Time accounting is the caller's job (per-cage reads and
+        array-wide scans amortise it differently).
         """
-        cage = self.cages.cage(cage_id)
         particle = cage.payload
         if isinstance(particle, list):
             particle = particle[0] if particle else None
@@ -304,21 +387,50 @@ class Biochip:
             noise_after,
             self.readout.adc.quantisation_noise_rms() / math.sqrt(n_samples),
         )
-        detected = abs(reading) > threshold
-        duration = n_samples * self.readout.time_per_sample(self.addresser)
-        self._log(
-            "sense",
-            {"cage": cage_id, "reading": reading, "detected": detected},
-            duration,
-        )
         return SenseResult(
-            cage_id=cage_id,
+            cage_id=cage.cage_id,
             reading=reading,
             n_samples=n_samples,
-            detected=detected,
+            detected=abs(reading) > threshold,
             expected=particle is not None,
             duration=duration,
         )
+
+    def sense(self, cage_id, n_samples=1000) -> SenseResult:
+        """Read the sensor under one cage with N-sample averaging."""
+        cage = self.cages.cage(cage_id)
+        duration = n_samples * self.readout.time_per_sample(self.addresser)
+        result = self._sense_reading(cage, n_samples, duration)
+        self._log(
+            "sense",
+            {"cage": cage_id, "reading": result.reading, "detected": result.detected},
+            duration,
+        )
+        return result
+
+    def sense_all(self, n_samples=1000):
+        """Read every live cage in N full-array scan passes.
+
+        The column-parallel readout digitises the whole array per scan,
+        so the time cost is ``n_samples`` frame scans regardless of how
+        many cages are live -- the array-wide counterpart of
+        :meth:`sense`.  Returns a list of (cage_id, SenseResult) in cage
+        id order.
+        """
+        duration = n_samples * self.addresser.frame_scan_time()
+        outcomes = [
+            (cage.cage_id, self._sense_reading(cage, n_samples, duration))
+            for cage in self.cages.cages
+        ]
+        self._log(
+            "sense_all",
+            {
+                "cages": len(outcomes),
+                "detections": sum(1 for __, r in outcomes if r.detected),
+            },
+            duration,
+        )
+        return outcomes
 
     def incubate(self, seconds):
         """Advance time with cages held static (reaction/settling)."""

@@ -5,6 +5,11 @@ handles ("cellA", "bead3").  It is the user-facing layer: biologists
 think in trap/move/merge/sense/release steps, and the compiler lowers
 those to a scheduled, routed, frame-level program for the chip.
 
+Command semantics (validation, lowering, execution) live in per-command
+specs dispatched through :mod:`repro.core.registry`; this module only
+defines the command payloads and the builder.  New command types plug in
+by registering a spec -- no core file changes needed.
+
 Example::
 
     protocol = (
@@ -63,8 +68,43 @@ class ReleaseCmd:
     handle: str
 
 
-#: All command types, for isinstance checks.
-COMMAND_TYPES = (TrapCmd, MoveCmd, MergeCmd, SenseCmd, IncubateCmd, ReleaseCmd)
+@dataclass(frozen=True)
+class MoveManyCmd:
+    """Route a group of cages concurrently, one frame update per step.
+
+    ``moves`` is a tuple of ``(handle, goal)`` pairs; the whole group
+    advances together, as on the real chip where a single frame
+    reprogram shifts thousands of DEP cages at once.
+    """
+
+    moves: tuple  # ((handle, (row, col)), ...)
+
+    @property
+    def goals(self) -> dict:
+        """Mapping handle -> goal site."""
+        return dict(self.moves)
+
+
+@dataclass(frozen=True)
+class SenseAllCmd:
+    """Array-wide sensor scan reading every live cage in one pass."""
+
+    samples: int = 1000
+    store_as: str | None = None
+
+
+#: All built-in command types (kept for backward compatibility; the
+#: authoritative set is ``default_registry.command_types()``).
+COMMAND_TYPES = (
+    TrapCmd,
+    MoveCmd,
+    MergeCmd,
+    SenseCmd,
+    IncubateCmd,
+    ReleaseCmd,
+    MoveManyCmd,
+    SenseAllCmd,
+)
 
 
 @dataclass
@@ -86,6 +126,21 @@ class Protocol:
         self.commands.append(MoveCmd(handle, tuple(goal)))
         return self
 
+    def move_many(self, moves) -> "Protocol":
+        """Route several handles concurrently in one frame-parallel step.
+
+        ``moves`` is a mapping handle -> goal or an iterable of
+        ``(handle, goal)`` pairs.
+        """
+        if isinstance(moves, dict):
+            pairs = moves.items()
+        else:
+            pairs = moves
+        self.commands.append(
+            MoveManyCmd(tuple((handle, tuple(goal)) for handle, goal in pairs))
+        )
+        return self
+
     def merge(self, keep, absorb) -> "Protocol":
         """Fuse ``absorb``'s cage into ``keep``'s; ``absorb`` dies."""
         self.commands.append(MergeCmd(keep, absorb))
@@ -94,6 +149,11 @@ class Protocol:
     def sense(self, handle, samples=1000, store_as=None) -> "Protocol":
         """Read the sensor under the handle's cage with averaging."""
         self.commands.append(SenseCmd(handle, samples, store_as))
+        return self
+
+    def sense_all(self, samples=1000, store_as=None) -> "Protocol":
+        """Scan the whole array, reading every live cage at once."""
+        self.commands.append(SenseAllCmd(samples, store_as))
         return self
 
     def incubate(self, handle, seconds) -> "Protocol":
@@ -106,67 +166,53 @@ class Protocol:
         self.commands.append(ReleaseCmd(handle))
         return self
 
+    def add(self, command) -> "Protocol":
+        """Append an arbitrary (possibly third-party) command object."""
+        self.commands.append(command)
+        return self
+
     # -- queries -------------------------------------------------------------
 
     def __len__(self):
         return len(self.commands)
 
-    def handles(self):
+    def handles(self, registry=None):
         """All handles ever defined, in definition order."""
+        from .registry import default_registry
+
+        registry = registry or default_registry
         seen = []
         for cmd in self.commands:
-            if isinstance(cmd, TrapCmd) and cmd.handle not in seen:
-                seen.append(cmd.handle)
+            spec = registry.get(type(cmd))
+            if spec is None:
+                continue
+            for handle in spec.defined_handles(cmd):
+                if handle not in seen:
+                    seen.append(handle)
         return seen
 
     # -- validation ------------------------------------------------------------
 
-    def validate(self) -> bool:
+    def validate(self, registry=None) -> bool:
         """Static checks: define-before-use, single definition, no
         use-after-release/merge, positive parameters.
 
-        Raises :class:`~repro.core.errors.ProtocolError` on the first
-        problem; returns True when clean.
+        Each command's checks come from its registered spec; an
+        unregistered command type is itself a validation error.  Raises
+        :class:`~repro.core.errors.ProtocolError` on the first problem;
+        returns True when clean.
         """
-        live = set()
-        dead = set()
+        from .registry import ValidationState, default_registry
+
+        registry = registry or default_registry
+        state = ValidationState()
         for index, cmd in enumerate(self.commands):
             where = f"command #{index} ({type(cmd).__name__})"
-            if isinstance(cmd, TrapCmd):
-                if cmd.handle in live or cmd.handle in dead:
-                    raise ProtocolError(f"{where}: handle {cmd.handle!r} redefined")
-                live.add(cmd.handle)
-            elif isinstance(cmd, MergeCmd):
-                for handle in (cmd.keep, cmd.absorb):
-                    self._require_live(handle, live, dead, where)
-                if cmd.keep == cmd.absorb:
-                    raise ProtocolError(f"{where}: cannot merge a handle with itself")
-                live.discard(cmd.absorb)
-                dead.add(cmd.absorb)
-            elif isinstance(cmd, ReleaseCmd):
-                self._require_live(cmd.handle, live, dead, where)
-                live.discard(cmd.handle)
-                dead.add(cmd.handle)
-            elif isinstance(cmd, SenseCmd):
-                self._require_live(cmd.handle, live, dead, where)
-                if cmd.samples < 1:
-                    raise ProtocolError(f"{where}: samples must be >= 1")
-            elif isinstance(cmd, IncubateCmd):
-                self._require_live(cmd.handle, live, dead, where)
-                if cmd.seconds < 0.0:
-                    raise ProtocolError(f"{where}: negative incubation")
-            elif isinstance(cmd, MoveCmd):
-                self._require_live(cmd.handle, live, dead, where)
-            else:
+            spec = registry.get(type(cmd))
+            if spec is None:
                 raise ProtocolError(f"{where}: unknown command type")
+            spec.validate(cmd, state, where)
         return True
-
-    @staticmethod
-    def _require_live(handle, live, dead, where):
-        if handle in dead:
-            raise ProtocolError(f"{where}: handle {handle!r} used after release/merge")
-        if handle not in live:
-            raise ProtocolError(f"{where}: handle {handle!r} not defined")
 
 
 def viability_sort_protocol(pairs, left_column, right_column, samples=2000):

@@ -1,0 +1,154 @@
+"""The session runner: the v2 entry point for executing protocols.
+
+A :class:`Session` owns a :class:`~repro.core.backend.Backend` and a
+command registry, compiles protocols against the backend's grid, and
+executes them with a *fresh handle namespace per run* -- two runs on the
+same session can reuse handle names without seeing each other's cages.
+
+Example::
+
+    from repro import Protocol, Session
+
+    session = Session.simulator()
+    result = session.run(
+        Protocol("hello").trap("p", (10, 10)).move("p", (30, 30)).release("p")
+    )
+    print(result.summary())
+
+    # a planning sweep on the time-only backend
+    dry = Session.dry_run()
+    runs = dry.run_many([variant_a, variant_b, variant_c])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .backend import Backend, DryRunBackend, SimulatorBackend
+from .compiler import CompiledProgram, compile_protocol
+from .platform import Biochip
+from .registry import ExecutionContext, default_registry
+from .results import RunResult
+
+
+@dataclass
+class RunSet:
+    """Aggregated results of :meth:`Session.run_many`."""
+
+    results: list = field(default_factory=list)
+
+    def __len__(self):
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    @property
+    def total_wall_time(self) -> float:
+        """Sum of the runs' accounted chip times [s]."""
+        return sum(r.wall_time for r in self.results)
+
+    @property
+    def total_events(self) -> int:
+        return sum(r.count() for r in self.results)
+
+    def summary(self) -> str:
+        """One line per run plus a totals line."""
+        lines = [
+            f"[{i}] {r.protocol_name!r}: {r.count()} ops, "
+            f"{r.wall_time:.1f} s"
+            for i, r in enumerate(self.results)
+        ]
+        lines.append(
+            f"total: {len(self.results)} runs, {self.total_events} ops, "
+            f"{self.total_wall_time:.1f} s"
+        )
+        return "\n".join(lines)
+
+
+class Session:
+    """Compile-and-run front end over one execution backend.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`~repro.core.backend.Backend` to execute on.
+    registry:
+        Command registry used for validation, lowering and execution
+        (default: the shared :data:`~repro.core.registry.default_registry`).
+    """
+
+    def __init__(self, backend: Backend, registry=None):
+        self.backend = backend
+        self.registry = registry or default_registry
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def simulator(cls, chip=None, registry=None) -> "Session":
+        """A session on the full physical simulator (small chip default)."""
+        chip = chip if chip is not None else Biochip.small_chip()
+        return cls(SimulatorBackend(chip), registry=registry)
+
+    @classmethod
+    def dry_run(cls, grid=None, registry=None, **backend_kwargs) -> "Session":
+        """A session on the fast time/geometry-only backend."""
+        if grid is not None:
+            backend_kwargs["grid"] = grid
+        return cls(DryRunBackend(**backend_kwargs), registry=registry)
+
+    # -- execution ----------------------------------------------------------
+
+    def compile(self, protocol, **kwargs) -> CompiledProgram:
+        """Compile ``protocol`` for this session's backend grid."""
+        kwargs.setdefault("registry", self.registry)
+        return compile_protocol(protocol, self.backend.grid, **kwargs)
+
+    def run(self, protocol_or_program, handles=None) -> RunResult:
+        """Compile (if needed) and execute; returns a :class:`RunResult`.
+
+        Every call gets a fresh handle namespace: handle bindings never
+        leak between runs.  ``handles`` optionally supplies the dict to
+        hold this run's bindings (the legacy executor shim uses it to
+        expose them).
+        """
+        if isinstance(protocol_or_program, CompiledProgram):
+            program = protocol_or_program
+        else:
+            program = self.compile(protocol_or_program)
+        registry = program.registry or self.registry
+        result = RunResult(
+            protocol_name=program.protocol.name,
+            predicted_makespan=program.makespan,
+        )
+        ctx = ExecutionContext(
+            result=result, handles={} if handles is None else handles
+        )
+        start_elapsed = self.backend.elapsed
+        for __, op_id, cmd in program.ordered_commands():
+            registry.spec_for(cmd).execute(cmd, self.backend, ctx, op_id)
+        result.wall_time = self.backend.elapsed - start_elapsed
+        result.finalize()
+        return result
+
+    def run_many(self, protocols, isolated=True) -> RunSet:
+        """Run several protocols, aggregating their results.
+
+        With ``isolated=True`` (default) each protocol runs on a fresh
+        :meth:`~repro.core.backend.Backend.spawn` of this session's
+        backend, so runs cannot interact through chip state and the
+        session's own backend is left untouched.  With
+        ``isolated=False`` all runs share this session's backend
+        (handle namespaces are still per-run).
+        """
+        results = []
+        for protocol in protocols:
+            if isolated:
+                runner = Session(self.backend.spawn(), registry=self.registry)
+                results.append(runner.run(protocol))
+            else:
+                results.append(self.run(protocol))
+        return RunSet(results)

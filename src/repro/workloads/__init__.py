@@ -1,6 +1,12 @@
-"""Synthetic workload generators: assay graphs and routing traffic."""
+"""Synthetic workload generators: assay graphs, routing traffic, protocols."""
 
 from .assays import cell_chain, random_assay, serial_assay, wide_assay
+from .protocols import (
+    batch_move_protocol,
+    column_band_sites,
+    serial_move_protocol,
+    sweep_protocols,
+)
 from .sorting import (
     hotspot_workload,
     random_permutation_workload,

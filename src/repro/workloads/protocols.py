@@ -1,0 +1,83 @@
+"""Protocol-level workload generators for the v2 session API.
+
+Where :mod:`repro.workloads.sorting` produces raw routing requests and
+:mod:`repro.workloads.assays` produces bare task graphs, these builders
+produce complete :class:`~repro.core.protocol.Protocol` programs ready
+for :meth:`Session.run` / :meth:`Session.run_many` -- in particular the
+serial-vs-batch move pair the batching benchmark compares.
+"""
+
+from __future__ import annotations
+
+from ..core.protocol import Protocol
+
+
+def column_band_sites(grid, n_cages, column, separation=2, margin=0):
+    """``n_cages`` separation-legal sites down one column."""
+    sites = [
+        (row, column)
+        for row in range(margin, grid.rows - margin, separation)
+    ]
+    if n_cages > len(sites):
+        raise ValueError(
+            f"requested {n_cages} cages, column fits {len(sites)} at "
+            f"separation {separation}"
+        )
+    return sites[:n_cages]
+
+
+def serial_move_protocol(grid, n_cages, from_column=None, to_column=None,
+                         separation=2):
+    """Trap ``n_cages`` in one column and move them one at a time.
+
+    Every cage gets its own :class:`MoveCmd`, so the chip routes and
+    frame-programs each move independently -- the pre-batching
+    execution pattern.
+    """
+    from_column, to_column = _default_columns(grid, from_column, to_column)
+    protocol = Protocol(f"serial-move-{n_cages}")
+    sites = column_band_sites(grid, n_cages, from_column, separation)
+    for i, site in enumerate(sites):
+        protocol.trap(f"c{i}", site)
+    for i, site in enumerate(sites):
+        protocol.move(f"c{i}", (site[0], to_column))
+    for i in range(n_cages):
+        protocol.release(f"c{i}")
+    return protocol
+
+
+def batch_move_protocol(grid, n_cages, from_column=None, to_column=None,
+                        separation=2):
+    """The same relocation as :func:`serial_move_protocol` as ONE
+    :class:`MoveManyCmd`: the whole group advances per frame update."""
+    from_column, to_column = _default_columns(grid, from_column, to_column)
+    protocol = Protocol(f"batch-move-{n_cages}")
+    sites = column_band_sites(grid, n_cages, from_column, separation)
+    for i, site in enumerate(sites):
+        protocol.trap(f"c{i}", site)
+    protocol.move_many(
+        {f"c{i}": (site[0], to_column) for i, site in enumerate(sites)}
+    )
+    for i in range(n_cages):
+        protocol.release(f"c{i}")
+    return protocol
+
+
+def sweep_protocols(grid, sizes, separation=2):
+    """One batch-move protocol per population size, for ``run_many``
+    planning sweeps (typically on the dry-run backend)."""
+    return [
+        batch_move_protocol(grid, size, separation=separation)
+        for size in sizes
+    ]
+
+
+def _default_columns(grid, from_column, to_column):
+    if from_column is None:
+        from_column = grid.cols // 4
+    if to_column is None:
+        to_column = (3 * grid.cols) // 4
+    for label, column in (("from", from_column), ("to", to_column)):
+        if not 0 <= column < grid.cols:
+            raise ValueError(f"{label}_column {column} outside the grid")
+    return from_column, to_column

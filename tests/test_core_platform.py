@@ -128,6 +128,20 @@ class TestLoadSample:
         cages = chip.load_sample(self.sample(), max_particles=20)
         assert all(c.payload is not None for c in cages)
 
+    def test_overflow_of_free_sites_raises_not_drops(self):
+        # 8x8 at spacing 2 -> 16 lattice sites; pre-occupy half of them,
+        # then load a sample that fits the lattice but not the free
+        # remainder.  The old capacity check compared against the full
+        # lattice and silently dropped the surplus particles.
+        chip = Biochip.small_chip(rows=8, cols=8, seed=1)
+        for row in range(0, 8, 2):
+            chip.trap((row, 0))
+            chip.trap((row, 4))
+        sample = Sample(volume=ul(4.0)).add(polystyrene_bead(), cells_per_ml(1e6))
+        with pytest.raises(ExecutionError, match="free"):
+            chip.load_sample(sample, max_particles=12)
+        assert chip.cage_count == 8  # nothing partially loaded
+
 
 class TestExecutor:
     def test_full_protocol_run(self):

@@ -1,0 +1,190 @@
+"""Unit tests for the command registry and the batch commands."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import Biochip, Protocol, ProtocolError, Session, default_registry
+from repro.bio import mammalian_cell
+from repro.core.registry import CommandRegistry, CommandSpec
+from repro.scheduling import OpType
+
+
+@dataclass(frozen=True)
+class BogusCmd:
+    payload: int = 0
+
+
+@dataclass(frozen=True)
+class WashCmd:
+    """A third-party command: hold a cage under buffer flow."""
+
+    handle: str
+    seconds: float
+
+
+class WashSpec(CommandSpec):
+    def validate(self, cmd, state, where):
+        state.require_live(cmd.handle, where)
+        if cmd.seconds <= 0.0:
+            raise ProtocolError(f"{where}: wash needs positive duration")
+
+    def lower(self, cmd, ctx, op_id):
+        ctx.add(
+            op_id,
+            OpType.INCUBATE,
+            ctx.duration_model.incubate(cmd.seconds),
+            after=[ctx.last_op[cmd.handle]],
+        )
+        ctx.last_op[cmd.handle] = op_id
+
+    def execute(self, cmd, backend, ctx, op_id):
+        backend.incubate(cmd.seconds)
+        ctx.result.record(op_id, "wash", handle=cmd.handle, seconds=cmd.seconds)
+
+
+@pytest.fixture
+def wash_registered():
+    default_registry.register(WashCmd, WashSpec)
+    yield
+    default_registry.unregister(WashCmd)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = {t.__name__ for t in default_registry.command_types()}
+        assert {
+            "TrapCmd",
+            "MoveCmd",
+            "MergeCmd",
+            "SenseCmd",
+            "IncubateCmd",
+            "ReleaseCmd",
+            "MoveManyCmd",
+            "SenseAllCmd",
+        } <= names
+
+    def test_unknown_command_rejected_at_validate(self):
+        protocol = Protocol("bad").trap("a", (0, 0)).add(BogusCmd())
+        with pytest.raises(ProtocolError, match="unknown command"):
+            protocol.validate()
+
+    def test_unknown_command_rejected_at_compile(self):
+        protocol = Protocol("bad").add(BogusCmd())
+        with pytest.raises(ProtocolError):
+            Session.simulator().compile(protocol)
+
+    def test_spec_for_unregistered_raises(self):
+        with pytest.raises(ProtocolError, match="not registered"):
+            default_registry.spec_for(BogusCmd())
+
+    def test_double_registration_guarded(self):
+        registry = CommandRegistry()
+        registry.register(BogusCmd, WashSpec)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(BogusCmd, WashSpec)
+        registry.register(BogusCmd, WashSpec, replace=True)
+
+    def test_decorator_registration(self):
+        registry = CommandRegistry()
+
+        @registry.register(BogusCmd)
+        class BogusSpec(CommandSpec):
+            pass
+
+        assert isinstance(registry.get(BogusCmd), BogusSpec)
+
+
+class TestCustomCommandEndToEnd:
+    """A command registered from outside core runs validate -> compile ->
+    execute without any core file changes."""
+
+    def protocol(self):
+        return (
+            Protocol("wash-assay")
+            .trap("cell", (5, 5), mammalian_cell())
+            .add(WashCmd("cell", 30.0))
+            .sense("cell", samples=500)
+            .release("cell")
+        )
+
+    def test_validates(self, wash_registered):
+        assert self.protocol().validate()
+
+    def test_validation_rules_apply(self, wash_registered):
+        protocol = Protocol("bad").trap("a", (0, 0)).add(WashCmd("a", -1.0))
+        with pytest.raises(ProtocolError, match="positive duration"):
+            protocol.validate()
+
+    def test_compiles_with_duration(self, wash_registered):
+        session = Session.simulator()
+        program = session.compile(self.protocol())
+        wash_ops = [
+            op
+            for op in program.graph.operations()
+            if op.op_id.endswith("WashCmd")
+        ]
+        assert len(wash_ops) == 1
+        assert wash_ops[0].duration == pytest.approx(30.0)
+
+    def test_executes_on_simulator(self, wash_registered):
+        chip = Biochip.small_chip()
+        result = Session.simulator(chip).run(self.protocol())
+        assert result.count("wash") == 1
+        assert chip.cage_count == 0
+        # the wash advanced the chip clock
+        assert result.wall_time > 30.0
+
+    def test_unregistered_again_rejected(self):
+        protocol = Protocol("bad").trap("a", (0, 0)).add(WashCmd("a", 1.0))
+        with pytest.raises(ProtocolError, match="unknown command"):
+            protocol.validate()
+
+
+class TestMoveManyValidation:
+    def test_requires_live_handles(self):
+        protocol = Protocol("bad").trap("a", (0, 0)).move_many({"ghost": (5, 5)})
+        with pytest.raises(ProtocolError, match="not defined"):
+            protocol.validate()
+
+    def test_rejects_duplicate_handles(self):
+        protocol = (
+            Protocol("bad")
+            .trap("a", (0, 0))
+            .move_many([("a", (5, 5)), ("a", (9, 9))])
+        )
+        with pytest.raises(ProtocolError, match="more than once"):
+            protocol.validate()
+
+    def test_rejects_empty_group(self):
+        protocol = Protocol("bad").move_many({})
+        with pytest.raises(ProtocolError, match="at least one"):
+            protocol.validate()
+
+    def test_rejects_dead_handles(self):
+        protocol = (
+            Protocol("bad").trap("a", (0, 0)).release("a").move_many({"a": (5, 5)})
+        )
+        with pytest.raises(ProtocolError, match="after release"):
+            protocol.validate()
+
+    def test_off_grid_goal_rejected_at_compile(self):
+        from repro import CompileError
+
+        protocol = Protocol("bad").trap("a", (0, 0)).move_many({"a": (500, 500)})
+        with pytest.raises(CompileError, match="outside"):
+            Session.simulator().compile(protocol)
+
+    def test_goals_property(self):
+        protocol = Protocol("p").trap("a", (0, 0)).move_many({"a": (5, 5)})
+        assert protocol.commands[-1].goals == {"a": (5, 5)}
+
+
+class TestSenseAllValidation:
+    def test_rejects_bad_samples(self):
+        protocol = Protocol("bad").sense_all(samples=0)
+        with pytest.raises(ProtocolError, match="samples"):
+            protocol.validate()
+
+    def test_valid_with_no_cages(self):
+        assert Protocol("empty-scan").sense_all().validate()

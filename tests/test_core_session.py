@@ -1,0 +1,293 @@
+"""Unit tests for the session runner and execution backends."""
+
+import pytest
+
+from repro import (
+    Biochip,
+    DryRunBackend,
+    ExecutionError,
+    Executor,
+    Protocol,
+    Session,
+    SimulatorBackend,
+)
+from repro.bio import mammalian_cell
+from repro.workloads import batch_move_protocol, serial_move_protocol
+
+
+def line_protocol(name="line", release=True):
+    protocol = Protocol(name).trap("a", (2, 2)).move("a", (2, 20))
+    if release:
+        protocol.release("a")
+    return protocol
+
+
+class TestSessionRun:
+    def test_run_matches_legacy_executor(self):
+        protocol = (
+            Protocol("parity")
+            .trap("cell", (5, 5), mammalian_cell())
+            .move("cell", (20, 20))
+            .sense("cell", samples=2000)
+            .release("cell")
+        )
+        legacy = Executor(Biochip.small_chip()).run(protocol)
+        v2 = Session.simulator(Biochip.small_chip()).run(protocol)
+        assert v2.count() == legacy.count() == 4
+        assert v2.detections("cell") == legacy.detections("cell") == [True]
+        assert v2.wall_time == pytest.approx(legacy.wall_time)
+
+    def test_fresh_handles_per_run(self):
+        session = Session.simulator()
+        session.run(Protocol("one").trap("a", (2, 2)))  # never released
+        # the same handle name is reusable on the next run
+        result = session.run(Protocol("two").trap("a", (20, 20)).release("a"))
+        assert result.count("trap") == 1
+
+    def test_precompiled_program_accepted(self):
+        session = Session.simulator()
+        program = session.compile(line_protocol())
+        result = session.run(program)
+        assert result.count() == 3
+        assert result.predicted_makespan == program.makespan
+
+
+class TestDryRunAgreement:
+    def test_wall_time_close_to_simulator(self):
+        chip = Biochip.small_chip(rows=32, cols=32)
+        protocol = (
+            Protocol("agree")
+            .trap("a", (2, 2))
+            .move("a", (2, 24))
+            .sense("a", samples=500)
+            .incubate("a", 10.0)
+            .release("a")
+        )
+        sim = Session.simulator(chip).run(protocol)
+        dry = Session.dry_run(grid=chip.grid).run(protocol)
+        assert dry.wall_time == pytest.approx(sim.wall_time, rel=0.15)
+
+    def test_predicted_makespan_identical(self):
+        chip = Biochip.small_chip(rows=32, cols=32)
+        protocol = line_protocol()
+        sim = Session.simulator(chip).run(protocol)
+        dry = Session.dry_run(grid=chip.grid).run(protocol)
+        assert dry.predicted_makespan == pytest.approx(sim.predicted_makespan)
+
+    def test_dry_run_is_fast_at_scale(self):
+        # planning-scale: a 64-cage batch relocation on the paper grid
+        # runs through the dry backend without touching physics
+        session = Session.dry_run()
+        protocol = batch_move_protocol(session.backend.grid, 64)
+        result = session.run(protocol)
+        assert result.count("move_many") == 1
+        assert result.wall_time > 0.0
+
+
+class TestRunMany:
+    def test_isolated_runs_do_not_interact(self):
+        chip = Biochip.small_chip()
+        session = Session.simulator(chip)
+        # both protocols trap the same handle at the same site and never
+        # release: only isolation makes the second one runnable
+        stubborn = Protocol("stubborn").trap("a", (5, 5))
+        runs = session.run_many([stubborn, stubborn])
+        assert len(runs) == 2
+        assert all(r.count("trap") == 1 for r in runs)
+        assert chip.cage_count == 0  # session's own chip untouched
+
+    def test_shared_backend_accumulates_state(self):
+        chip = Biochip.small_chip()
+        session = Session.simulator(chip)
+        runs = session.run_many(
+            [
+                Protocol("one").trap("a", (5, 5)),
+                Protocol("two").trap("a", (20, 20)),
+            ],
+            isolated=False,
+        )
+        assert len(runs) == 2
+        assert chip.cage_count == 2  # neither run released
+
+    def test_aggregation(self):
+        session = Session.simulator()
+        runs = session.run_many([line_protocol("p0"), line_protocol("p1")])
+        assert runs.total_events == 6
+        assert runs.total_wall_time == pytest.approx(
+            runs[0].wall_time + runs[1].wall_time
+        )
+        assert "2 runs" in runs.summary()
+
+    def test_dry_run_sweep(self):
+        session = Session.dry_run()
+        protocols = [
+            batch_move_protocol(session.backend.grid, size) for size in (4, 8)
+        ]
+        runs = session.run_many(protocols)
+        assert [r.protocol_name for r in runs] == ["batch-move-4", "batch-move-8"]
+
+
+class TestExecutorShim:
+    def test_handle_state_reset_between_runs(self):
+        executor = Executor(Biochip.small_chip())
+        executor.run(Protocol("one").trap("a", (5, 5)))  # no release
+        executor.run(Protocol("two").trap("b", (20, 20)))
+        assert "a" not in executor._cage_ids  # stale handle purged
+        assert "b" in executor._cage_ids
+
+
+class TestMoveManyExecution:
+    def test_one_reprogram_per_frame_not_per_cage(self):
+        chip = Biochip.small_chip(rows=32, cols=32)
+        protocol = batch_move_protocol(chip.grid, n_cages=3)
+        Session.simulator(chip).run(protocol)
+        batch_events = [d for __, k, d in chip.history if k == "move_many"]
+        assert len(batch_events) == 1
+        distance = (3 * chip.grid.cols) // 4 - chip.grid.cols // 4
+        # K cages advance together: frames == distance, not K * distance
+        assert batch_events[0]["frames"] == distance
+        assert batch_events[0]["moves"] == 3 * distance
+
+    def test_serial_moves_program_k_times_more_frames(self):
+        chip = Biochip.small_chip(rows=32, cols=32)
+        protocol = serial_move_protocol(chip.grid, n_cages=3)
+        Session.simulator(chip).run(protocol)
+        serial_steps = sum(
+            d["steps"] for __, k, d in chip.history if k == "move"
+        )
+        distance = (3 * chip.grid.cols) // 4 - chip.grid.cols // 4
+        assert serial_steps == 3 * distance
+
+    def test_stationary_cages_stay_parked(self):
+        # a cage not in the batch is an obstacle, never displaced: the
+        # mover must route around it and its site must not change
+        chip = Biochip.small_chip(rows=8, cols=32)
+        parked = chip.trap((4, 16))
+        mover = chip.trap((4, 2))
+        chip.move_many({mover.cage_id: (4, 30)})
+        assert chip.cages.cage(parked.cage_id).site == (4, 16)
+        assert chip.cages.cage(mover.cage_id).site == (4, 30)
+        report = next(d for __, k, d in chip.history if k == "move_many")
+        assert report["cages"] == 1  # the parked cage is not in the batch
+
+    def test_conflicting_goals_raise(self):
+        session = Session.simulator()
+        protocol = (
+            Protocol("clash")
+            .trap("a", (2, 2))
+            .trap("b", (10, 2))
+            .move_many({"a": (6, 10), "b": (6, 10)})
+        )
+        with pytest.raises(ExecutionError):
+            session.run(protocol)
+
+    def test_batch_beats_serial_wall_time(self):
+        grid = Biochip.small_chip(rows=32, cols=32).grid
+        serial = Session.simulator(Biochip.small_chip(rows=32, cols=32)).run(
+            serial_move_protocol(grid, n_cages=4)
+        )
+        batch = Session.simulator(Biochip.small_chip(rows=32, cols=32)).run(
+            batch_move_protocol(grid, n_cages=4)
+        )
+        assert batch.wall_time < serial.wall_time
+
+
+class TestSenseAllExecution:
+    def test_scans_every_cage_in_one_event(self):
+        chip = Biochip.small_chip()
+        protocol = (
+            Protocol("scan")
+            .trap("full", (5, 5), mammalian_cell())
+            .trap("empty", (5, 15))
+            .sense_all(samples=2000)
+        )
+        result = Session.simulator(chip).run(protocol)
+        assert result.count("sense_all") == 1
+        assert result.detections("full") == [True]
+        assert result.detections("empty") == [False]
+        events = [d for __, k, d in chip.history if k == "sense_all"]
+        assert events == [{"cages": 2, "detections": 1}]
+
+    def test_store_as_groups_measurements(self):
+        protocol = (
+            Protocol("scan")
+            .trap("a", (5, 5), mammalian_cell())
+            .trap("b", (5, 15), mammalian_cell())
+            .sense_all(samples=1000, store_as="scan0")
+        )
+        result = Session.simulator().run(protocol)
+        assert len(result.measurements["scan0"]) == 2
+
+    def test_array_scan_time_independent_of_population(self):
+        few = Biochip.small_chip()
+        many = Biochip.small_chip()
+        few.trap((2, 2))
+        for row in range(2, 30, 4):
+            many.trap((row, 10))
+        few.sense_all(n_samples=100)
+        many.sense_all(n_samples=100)
+        few_time = few.history[-1][0] - few.history[-2][0]
+        many_time = many.history[-1][0] - many.history[-2][0]
+        assert few_time == pytest.approx(many_time)
+
+
+class TestDryRunBackend:
+    def test_geometry_rules_enforced(self):
+        backend = DryRunBackend(grid=Biochip.small_chip().grid)
+        backend.trap((5, 5))
+        with pytest.raises(ExecutionError, match="separation"):
+            backend.trap((5, 6))
+        with pytest.raises(ExecutionError, match="bounds"):
+            backend.trap((500, 500))
+
+    def test_expected_flag_tracks_payload(self):
+        backend = DryRunBackend(grid=Biochip.small_chip().grid)
+        loaded = backend.trap((5, 5), mammalian_cell())
+        empty = backend.trap((5, 15))
+        assert backend.sense(loaded).expected
+        assert not backend.sense(empty).expected
+        assert not backend.sense(loaded).detected  # never "detects"
+
+    def test_move_many_enforces_separation_like_simulator(self):
+        backend = DryRunBackend(grid=Biochip.small_chip().grid)
+        a = backend.trap((0, 0))
+        b = backend.trap((0, 5))
+        with pytest.raises(ExecutionError, match="separation"):
+            backend.move_many({a: (0, 2), b: (0, 3)})
+
+    def test_rejected_move_many_leaves_state_intact(self):
+        backend = DryRunBackend(grid=Biochip.small_chip().grid)
+        stationary = backend.trap((5, 5))
+        mover = backend.trap((5, 15))
+        with pytest.raises(ExecutionError):
+            backend.move_many({mover: (5, 5)})  # onto the stationary cage
+        # nothing moved: both cages still routable from their old sites
+        assert backend.move(mover, (5, 20)) == 5
+        backend.release(stationary)
+        backend.release(mover)
+        assert backend.cage_count == 0
+
+    def test_move_many_allows_swaps(self):
+        backend = DryRunBackend(grid=Biochip.small_chip().grid)
+        a = backend.trap((5, 5))
+        b = backend.trap((5, 15))
+        report = backend.move_many({a: (5, 15), b: (5, 5)})
+        assert report["frames"] == 10
+        assert backend.sense(a).cage_id == a
+
+    def test_spawn_is_pristine(self):
+        backend = DryRunBackend(grid=Biochip.small_chip().grid)
+        backend.trap((5, 5))
+        fresh = backend.spawn()
+        assert fresh.cage_count == 0
+        assert fresh.elapsed == 0.0
+        assert fresh.grid is backend.grid
+
+    def test_simulator_spawn_is_pristine(self):
+        chip = Biochip.small_chip(seed=7)
+        backend = SimulatorBackend(chip)
+        backend.trap((5, 5))
+        fresh = backend.spawn()
+        assert fresh.chip is not chip
+        assert fresh.chip.cage_count == 0
+        assert fresh.chip.seed == 7
