@@ -48,6 +48,7 @@ from .core import (
     compile_protocol,
     default_registry,
 )
+from .service import ExecutionService, JobState, ServiceConfig
 
 __version__ = "2.0.0"
 
@@ -61,12 +62,15 @@ __all__ = [
     "CompiledProgram",
     "DryRunBackend",
     "ExecutionError",
+    "ExecutionService",
     "Executor",
+    "JobState",
     "Protocol",
     "ProtocolError",
     "RunResult",
     "RunSet",
     "SenseResult",
+    "ServiceConfig",
     "Session",
     "SimulatorBackend",
     "compile_protocol",

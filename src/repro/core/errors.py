@@ -17,3 +17,8 @@ class CompileError(BiochipError):
 
 class ExecutionError(BiochipError):
     """Runtime failure while executing a compiled program on the chip."""
+
+
+class ServiceError(BiochipError):
+    """Fleet execution service failure: admission rejection, shed or
+    expired jobs, or asking for the result of a job that never ran."""

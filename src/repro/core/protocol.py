@@ -26,6 +26,8 @@ Example::
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 
 from .errors import ProtocolError
@@ -191,6 +193,59 @@ class Protocol:
                     seen.append(handle)
         return seen
 
+    def fingerprint(self, registry=None) -> str:
+        """Stable structure-only hash of the command sequence.
+
+        Two protocols fingerprint identically exactly when they execute
+        the same command types with the same payloads in the same order
+        -- regardless of the protocol's ``name`` or what its handles are
+        called.  Handles are canonicalised to their definition index, so
+        ``trap("cell", ...)`` and ``trap("bead", ...)`` hash the same
+        when everything else matches.  The hash is order-sensitive:
+        swapping two commands changes it.
+
+        Renaming applies only to the fields each command's registered
+        spec declares in ``handle_fields``; every other field --
+        ``store_as`` keys, string payloads -- is hashed verbatim even
+        when its value collides with a handle name.  Commands with no
+        registered spec, and non-dataclass command objects, are hashed
+        fully verbatim (their handle names count as payload; a
+        non-dataclass command hashes by ``repr``), which can only cost
+        cache hits, never produce false ones.
+
+        This is the compiled-program cache key used by
+        :mod:`repro.service.cache` (combined with the grid shape), but
+        it stands alone as a cheap protocol-identity check.
+        """
+        from .registry import default_registry
+
+        registry = registry or default_registry
+        rename = {}
+        for cmd in self.commands:
+            spec = registry.get(type(cmd))
+            if spec is None:
+                continue
+            for handle in spec.defined_handles(cmd):
+                # the NUL prefix makes aliases unspellable as literal
+                # handle strings, so an undefined handle reference can
+                # never collide with another protocol's alias
+                rename.setdefault(handle, f"\x00{len(rename)}")
+        no_rename = {}
+        tokens = []
+        for cmd in self.commands:
+            spec = registry.get(type(cmd))
+            handle_fields = getattr(spec, "handle_fields", ()) if spec else ()
+            tokens.append(type(cmd).__name__)
+            if not dataclasses.is_dataclass(cmd):
+                tokens.append(repr(cmd))
+                continue
+            for f in dataclasses.fields(cmd):
+                value = getattr(cmd, f.name)
+                scope = rename if f.name in handle_fields else no_rename
+                tokens.append(f"{f.name}={_canonical(value, scope)}")
+        digest = hashlib.sha256("\x1f".join(tokens).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
     # -- validation ------------------------------------------------------------
 
     def validate(self, registry=None) -> bool:
@@ -213,6 +268,26 @@ class Protocol:
                 raise ProtocolError(f"{where}: unknown command type")
             spec.validate(cmd, state, where)
         return True
+
+
+def _canonical(value, rename) -> str:
+    """Deterministic token for one command field value.
+
+    Strings that name a defined handle are replaced by their canonical
+    definition-order alias; containers recurse so handle references
+    nested in e.g. ``MoveManyCmd.moves`` are canonicalised too.
+    """
+    if isinstance(value, str):
+        return repr(rename.get(value, value))
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(_canonical(v, rename) for v in value) + ")"
+    if isinstance(value, dict):
+        items = sorted(
+            (_canonical(k, rename), _canonical(v, rename))
+            for k, v in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    return repr(value)
 
 
 def viability_sort_protocol(pairs, left_column, right_column, samples=2000):

@@ -131,8 +131,16 @@ class CommandSpec:
     Subclass and implement the three hooks to add a command; ``lower``
     must create exactly one operation under the given ``op_id`` so the
     scheduler's entries map back to commands.  Override
-    ``defined_handles`` for commands that introduce handles.
+    ``defined_handles`` for commands that introduce handles, and list
+    every dataclass field holding handle *references* in
+    ``handle_fields`` so :meth:`Protocol.fingerprint` can canonicalise
+    them (an undeclared field is hashed verbatim -- conservative: the
+    program cache may miss, but never falsely hit).
     """
+
+    #: Names of dataclass fields whose values are handle references
+    #: (possibly nested in tuples/dicts, as in ``MoveManyCmd.moves``).
+    handle_fields = ()
 
     def validate(self, cmd, state, where):
         raise NotImplementedError
@@ -201,6 +209,8 @@ class CommandRegistry:
 
 
 class TrapSpec(CommandSpec):
+    handle_fields = ("handle",)
+
     def validate(self, cmd, state, where):
         state.define(cmd.handle, where)
 
@@ -222,6 +232,8 @@ class TrapSpec(CommandSpec):
 
 
 class MoveSpec(CommandSpec):
+    handle_fields = ("handle",)
+
     def validate(self, cmd, state, where):
         state.require_live(cmd.handle, where)
 
@@ -246,6 +258,8 @@ class MoveSpec(CommandSpec):
 
 
 class MergeSpec(CommandSpec):
+    handle_fields = ("keep", "absorb")
+
     def validate(self, cmd, state, where):
         for handle in (cmd.keep, cmd.absorb):
             state.require_live(handle, where)
@@ -271,6 +285,8 @@ class MergeSpec(CommandSpec):
 
 
 class SenseSpec(CommandSpec):
+    handle_fields = ("handle",)
+
     def validate(self, cmd, state, where):
         state.require_live(cmd.handle, where)
         if cmd.samples < 1:
@@ -299,6 +315,8 @@ class SenseSpec(CommandSpec):
 
 
 class IncubateSpec(CommandSpec):
+    handle_fields = ("handle",)
+
     def validate(self, cmd, state, where):
         state.require_live(cmd.handle, where)
         if cmd.seconds < 0.0:
@@ -321,6 +339,8 @@ class IncubateSpec(CommandSpec):
 
 
 class ReleaseSpec(CommandSpec):
+    handle_fields = ("handle",)
+
     def validate(self, cmd, state, where):
         state.require_live(cmd.handle, where)
         state.kill(cmd.handle)
@@ -347,6 +367,8 @@ class MoveManySpec(CommandSpec):
     frame reprogram advances every cage in the group by one electrode,
     instead of K independently routed single-cage moves.
     """
+
+    handle_fields = ("moves",)
 
     def validate(self, cmd, state, where):
         if not cmd.moves:

@@ -32,6 +32,11 @@ class RunResult:
     measurements:
         Mapping of measurement key -> list of
         :class:`~repro.core.platform.SenseResult`.
+    error:
+        The exception that aborted the run, or None for a clean run
+        (only populated by error-collecting callers such as
+        ``Session.run_many(on_error="collect")`` and the fleet
+        execution service).
     """
 
     protocol_name: str
@@ -39,7 +44,13 @@ class RunResult:
     wall_time: float = 0.0
     events: list = field(default_factory=list)
     measurements: dict = field(default_factory=dict)
+    error: object = None
     _finalized: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the run finished without an execution error."""
+        return self.error is None
 
     def record(self, op_id, kind, **detail):
         """Append an event (executor internal)."""

@@ -31,6 +31,24 @@ from .registry import ExecutionContext, default_registry
 from .results import RunResult
 
 
+def sweep_handles(backend, handles):
+    """Release every cage still bound in a dead run's ``handles``.
+
+    When a run fails (or a serving job never releases), its handle
+    namespace is gone and nothing else can ever free those cages; left
+    behind, they poison the backend for every later run near their
+    sites.  Used by ``run_many(on_error="collect")`` and the fleet
+    execution service's per-job chip sweep.
+    """
+    from .errors import BiochipError
+
+    for cage_id in set(handles.values()):
+        try:
+            backend.release(cage_id)
+        except BiochipError:
+            pass  # cage died with the failure; nothing to sweep
+
+
 @dataclass
 class RunSet:
     """Aggregated results of :meth:`Session.run_many`."""
@@ -55,16 +73,38 @@ class RunSet:
     def total_events(self) -> int:
         return sum(r.count() for r in self.results)
 
+    @property
+    def success_count(self) -> int:
+        """Number of runs that finished without an error."""
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def failures(self) -> list:
+        """``(index, result)`` pairs for every failed run."""
+        return [(i, r) for i, r in enumerate(self.results) if not r.ok]
+
+    @property
+    def mean_wall_time(self) -> float:
+        """Average accounted chip time per run [s]; 0.0 for no runs."""
+        if not self.results:
+            return 0.0
+        return self.total_wall_time / len(self.results)
+
     def summary(self) -> str:
-        """One line per run plus a totals line."""
+        """One line per run plus a totals line; safe for zero runs."""
+        if not self.results:
+            return "total: 0 runs, 0 ops, 0.0 s"
         lines = [
             f"[{i}] {r.protocol_name!r}: {r.count()} ops, "
-            f"{r.wall_time:.1f} s"
+            f"{r.wall_time:.1f} s" + ("" if r.ok else f" FAILED ({r.error})")
             for i, r in enumerate(self.results)
         ]
+        failed = len(self.results) - self.success_count
+        failure_text = f", {failed} failed" if failed else ""
         lines.append(
-            f"total: {len(self.results)} runs, {self.total_events} ops, "
-            f"{self.total_wall_time:.1f} s"
+            f"total: {len(self.results)} runs{failure_text}, "
+            f"{self.total_events} ops, {self.total_wall_time:.1f} s "
+            f"(mean {self.mean_wall_time:.1f} s/run)"
         )
         return "\n".join(lines)
 
@@ -134,7 +174,7 @@ class Session:
         result.finalize()
         return result
 
-    def run_many(self, protocols, isolated=True) -> RunSet:
+    def run_many(self, protocols, isolated=True, on_error="raise") -> RunSet:
         """Run several protocols, aggregating their results.
 
         With ``isolated=True`` (default) each protocol runs on a fresh
@@ -143,12 +183,43 @@ class Session:
         session's own backend is left untouched.  With
         ``isolated=False`` all runs share this session's backend
         (handle namespaces are still per-run).
+
+        ``on_error="raise"`` (default) propagates the first failure;
+        ``on_error="collect"`` records each failed run as a
+        :class:`~repro.core.results.RunResult` with ``error`` set and
+        keeps going, so :attr:`RunSet.success_count` /
+        :attr:`RunSet.failures` report the outcome of the whole sweep.
+        A collected failure's leftover cages are released (their handle
+        namespace is gone, so nothing could ever free them), keeping a
+        shared backend usable for the remaining runs.
         """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(f"on_error must be 'raise' or 'collect', "
+                             f"got {on_error!r}")
+        from .errors import BiochipError
+
         results = []
         for protocol in protocols:
             if isolated:
                 runner = Session(self.backend.spawn(), registry=self.registry)
-                results.append(runner.run(protocol))
             else:
-                results.append(self.run(protocol))
+                runner = self
+            handles = {}
+            start_elapsed = runner.backend.elapsed
+            try:
+                results.append(runner.run(protocol, handles=handles))
+            except BiochipError as exc:
+                if on_error == "raise":
+                    raise
+                sweep_handles(runner.backend, handles)
+                failed = RunResult(
+                    protocol_name=getattr(protocol, "name",
+                                          type(protocol).__name__),
+                    error=exc,
+                    # the partial run and its sweep consumed real chip
+                    # time; losing it would skew RunSet totals
+                    wall_time=runner.backend.elapsed - start_elapsed,
+                )
+                failed.finalize()
+                results.append(failed)
         return RunSet(results)

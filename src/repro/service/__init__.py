@@ -1,0 +1,73 @@
+"""Fleet execution service: serve protocol traffic across many chips.
+
+The paper's microsite array is one chip; this subsystem is the serving
+layer a production deployment needs on top of it -- a job queue with
+priorities, deadlines and admission control
+(:mod:`~repro.service.scheduler`), a compiled-program cache keyed by
+structural protocol fingerprints (:mod:`~repro.service.cache`), a fleet
+of isolated chips with pluggable dispatch policies
+(:mod:`~repro.service.fleet`), and deterministic latency/throughput
+telemetry (:mod:`~repro.service.telemetry`).
+
+Quickstart::
+
+    from repro import ExecutionService, Protocol, ServiceConfig
+
+    service = ExecutionService.simulator(
+        ServiceConfig(n_chips=8, policy="affinity", max_queue_depth=64)
+    )
+    protocol = (
+        Protocol("assay")
+        .trap("p", (10, 10)).move("p", (30, 30))
+        .sense("p", samples=2000).release("p")
+    )
+    handles = [service.submit(protocol, priority=i % 3) for i in range(32)]
+    results = service.drain()          # or handles[0].wait() for one job
+    print(service.report())            # throughput, p99 latency, hit rate
+
+Hot protocols compile once per chip and then hit the program cache on
+every repeat; the affinity policy keeps each fingerprint pinned to the
+chip that compiled it.
+"""
+
+from .cache import CacheStats, ProgramCache, program_key, rebind_program
+from .fleet import (
+    POLICIES,
+    AffinityPolicy,
+    ChipWorker,
+    DispatchPolicy,
+    Fleet,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from .jobs import Job, JobHandle, JobResult, JobState
+from .scheduler import ADMISSION_POLICIES, ExecutionService, ServiceConfig
+from .telemetry import Counter, Histogram, Telemetry
+
+#: Explicit so ``import *`` exports the API, not the submodule objects
+#: (cache, fleet, ...) that the imports above bind in package globals.
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AffinityPolicy",
+    "CacheStats",
+    "ChipWorker",
+    "Counter",
+    "DispatchPolicy",
+    "ExecutionService",
+    "Fleet",
+    "Histogram",
+    "Job",
+    "JobHandle",
+    "JobResult",
+    "JobState",
+    "LeastLoadedPolicy",
+    "POLICIES",
+    "ProgramCache",
+    "RoundRobinPolicy",
+    "ServiceConfig",
+    "Telemetry",
+    "make_policy",
+    "program_key",
+    "rebind_program",
+]

@@ -1,0 +1,165 @@
+"""Jobs: the unit of work the fleet execution service schedules.
+
+A :class:`Job` wraps one protocol with serving metadata (priority,
+deadline, submission time); :meth:`ExecutionService.submit` returns a
+:class:`JobHandle`, a future-style view the caller polls or waits on;
+and a :class:`JobResult` records everything the service knows about the
+job once it reaches a terminal state -- which chip ran it, whether the
+compiled program came from cache, and the queue-wait / service-time
+split of its latency.
+
+All timestamps are in *fleet virtual seconds*: the accounted chip time
+of the simulated fleet, not host CPU time.  That keeps latency metrics
+deterministic and hardware-meaningful (a chip-second is a chip-second
+regardless of how fast the host simulates it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..core.errors import ServiceError
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"          # admitted, waiting for a chip
+    RUNNING = "running"        # dispatched to a chip
+    DONE = "done"              # ran to completion
+    FAILED = "failed"          # ran, but the chip raised
+    REJECTED = "rejected"      # refused at admission (queue full)
+    SHED = "shed"              # admitted, then dropped for a hotter job
+    EXPIRED = "expired"        # deadline passed before a chip was free
+
+    @property
+    def terminal(self) -> bool:
+        return self is not JobState.QUEUED and self is not JobState.RUNNING
+
+
+#: Terminal states that never produced a run.
+UNSERVED_STATES = (JobState.REJECTED, JobState.SHED, JobState.EXPIRED)
+
+
+@dataclass
+class Job:
+    """One protocol plus its serving metadata.
+
+    Higher ``priority`` runs first; ``deadline`` (fleet virtual seconds
+    of allowed queue wait) expires the job if no chip picks it up in
+    time.  ``submitted_at`` is stamped by the service at admission.
+    """
+
+    protocol: object
+    job_id: int = 0
+    priority: int = 0
+    deadline: float | None = None
+    submitted_at: float = 0.0
+    state: JobState = JobState.QUEUED
+    fingerprint: str = ""
+
+    def sort_key(self):
+        """Heap key: highest priority first, FIFO within a priority."""
+        return (-self.priority, self.job_id)
+
+
+@dataclass
+class JobResult:
+    """Terminal record of one job.
+
+    ``run`` is the underlying :class:`~repro.core.results.RunResult`
+    when the job executed (DONE or FAILED), else None.  Latencies are
+    fleet virtual seconds (see module docstring).
+    """
+
+    job_id: int
+    state: JobState
+    protocol_name: str = ""
+    run: object = None
+    error: object = None
+    chip_id: int | None = None
+    cache_hit: bool = False
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.state is JobState.DONE
+
+    @property
+    def queue_wait(self) -> float:
+        """Submit -> start latency [virtual s] (0 for unserved jobs)."""
+        if self.state in UNSERVED_STATES:
+            return 0.0
+        return max(0.0, self.started_at - self.submitted_at)
+
+    @property
+    def service_time(self) -> float:
+        """Start -> done chip time [virtual s]."""
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def turnaround(self) -> float:
+        """Submit -> done latency [virtual s]."""
+        return self.queue_wait + self.service_time
+
+
+@dataclass
+class JobHandle:
+    """Future-style view of a submitted job.
+
+    The service is synchronous (chips are simulated), so :meth:`wait`
+    *drives* the scheduler -- it keeps executing queued jobs, highest
+    priority first, until this job reaches a terminal state.
+    """
+
+    job: Job
+    _service: object
+    _result: JobResult | None = field(default=None, repr=False)
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
+
+    @property
+    def state(self) -> JobState:
+        return self.job.state
+
+    def done(self) -> bool:
+        """True once the job is terminal (including rejected/shed)."""
+        return self.job.state.terminal
+
+    def poll(self) -> JobState:
+        """Current state without driving the scheduler."""
+        return self.job.state
+
+    def wait(self) -> JobResult:
+        """Drive the scheduler until this job is terminal."""
+        while not self.done():
+            if self._service.step() is None and not self.done():
+                raise ServiceError(
+                    f"job {self.job_id} cannot complete: queue drained "
+                    f"while it was still {self.job.state.value}"
+                )
+        return self.result()
+
+    def result(self, wait=True) -> JobResult:
+        """The job's :class:`JobResult`; waits by default.
+
+        Raises :class:`~repro.core.errors.ServiceError` when called
+        with ``wait=False`` before the job is terminal.
+        """
+        if not self.done():
+            if not wait:
+                raise ServiceError(
+                    f"job {self.job_id} is still {self.job.state.value}"
+                )
+            return self.wait()
+        if self._result is None:
+            raise ServiceError(f"job {self.job_id} has no recorded result")
+        return self._result
+
+    def _resolve(self, result: JobResult):
+        self._result = result

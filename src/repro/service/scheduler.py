@@ -1,0 +1,305 @@
+"""The execution service: admission control plus the priority drain loop.
+
+:class:`ExecutionService` is the serving front end over a chip
+:class:`~repro.service.fleet.Fleet`: callers :meth:`submit` protocol
+jobs and get future-style handles back; the service admits or refuses
+them (bounded queue, reject or shed-lowest-priority policies), orders
+the queue by priority, dispatches each job to a chip through the
+configured policy, reuses cached compiled programs, and meters
+everything through :class:`~repro.service.telemetry.Telemetry`.
+
+The service is synchronous: chips are simulated, so "waiting" on a
+handle drives the drain loop instead of blocking a thread.  Time is
+fleet virtual time (accounted chip seconds), making every latency and
+throughput figure deterministic for a given workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..core.backend import DryRunBackend, SimulatorBackend
+from ..core.errors import BiochipError
+from ..core.platform import Biochip
+from ..core.session import sweep_handles
+from .fleet import Fleet, make_policy
+from .jobs import Job, JobHandle, JobResult, JobState
+from .telemetry import Telemetry
+
+#: Admission behaviours when the queue is at ``max_queue_depth``.
+ADMISSION_POLICIES = ("reject", "shed-lowest")
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one :class:`ExecutionService`.
+
+    Attributes
+    ----------
+    n_chips:
+        Fleet size; each chip is an isolated spawn of the template
+        backend.
+    policy:
+        Dispatch policy name (``"round-robin"``, ``"least-loaded"``,
+        ``"affinity"``) or a
+        :class:`~repro.service.fleet.DispatchPolicy` instance.
+    max_queue_depth:
+        Admission bound on *queued* (not yet running) jobs; None means
+        unbounded.
+    admission:
+        What to do with a submit that finds the queue full:
+        ``"reject"`` refuses the new job; ``"shed-lowest"`` drops the
+        lowest-priority queued job instead, when the new job outranks
+        it.
+    cache_capacity:
+        Per-chip compiled-program cache capacity (None = unbounded).
+    """
+
+    n_chips: int = 4
+    policy: object = "least-loaded"
+    max_queue_depth: int | None = None
+    admission: str = "reject"
+    cache_capacity: int | None = None
+
+    def __post_init__(self):
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+
+
+class ExecutionService:
+    """Serve a stream of protocol jobs across a fleet of chips."""
+
+    def __init__(self, template_backend, config: ServiceConfig | None = None,
+                 registry=None):
+        self.config = config or ServiceConfig()
+        self.registry = registry
+        self.fleet = Fleet.spawn(
+            template_backend,
+            self.config.n_chips,
+            registry=registry,
+            cache_capacity=self.config.cache_capacity,
+        )
+        self.policy = make_policy(self.config.policy)
+        self.telemetry = Telemetry()
+        self._queue = []  # heap of (sort_key, Job)
+        self._queued_count = 0  # QUEUED entries (heap may hold shed ones)
+        self._handles = {}  # job_id -> JobHandle
+        self._next_id = 0
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def simulator(cls, config=None, chip=None, registry=None):
+        """A service whose chips are full physical simulators."""
+        chip = chip if chip is not None else Biochip.small_chip()
+        return cls(SimulatorBackend(chip), config=config, registry=registry)
+
+    @classmethod
+    def dry_run(cls, config=None, registry=None, **backend_kwargs):
+        """A service on time/geometry-only chips, for planning scale."""
+        return cls(
+            DryRunBackend(**backend_kwargs), config=config, registry=registry
+        )
+
+    # -- submission / admission ---------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs admitted and still waiting for a chip."""
+        return self._queued_count
+
+    @property
+    def now(self) -> float:
+        """Fleet virtual time [s]."""
+        return self.fleet.now
+
+    def submit(self, protocol, priority=0, deadline=None) -> JobHandle:
+        """Admit one job; returns its handle immediately.
+
+        A refused job (queue full under ``"reject"``, or outranked
+        under ``"shed-lowest"``) comes back with a terminal handle in
+        state ``REJECTED`` -- submission never raises for admission
+        decisions, so bursty callers can check ``handle.state`` instead
+        of catching.
+        """
+        job = Job(
+            protocol=protocol,
+            job_id=self._next_id,
+            priority=priority,
+            deadline=deadline,
+            submitted_at=self.fleet.now,
+            fingerprint=protocol.fingerprint(registry=self.registry),
+        )
+        self._next_id += 1
+        handle = JobHandle(job=job, _service=self)
+        self._handles[job.job_id] = handle
+        self.telemetry.count("submitted")
+        if not self._admit(job):
+            self._finish_unserved(job, JobState.REJECTED, "rejected")
+            return handle
+        heapq.heappush(self._queue, (job.sort_key(), job))
+        self._queued_count += 1
+        return handle
+
+    def submit_many(self, jobs) -> list:
+        """Submit a batch; each item is a protocol or a
+        ``(protocol, priority)`` / ``(protocol, priority, deadline)``
+        tuple.  Returns the handles in submission order."""
+        handles = []
+        for item in jobs:
+            if isinstance(item, tuple):
+                handles.append(self.submit(*item))
+            else:
+                handles.append(self.submit(item))
+        return handles
+
+    def _admit(self, job) -> bool:
+        """Apply the queue bound; True when ``job`` may be enqueued."""
+        depth_limit = self.config.max_queue_depth
+        if depth_limit is None or self.queue_depth < depth_limit:
+            return True
+        if self.config.admission == "reject":
+            return False
+        # shed-lowest: drop the weakest queued job iff the newcomer
+        # outranks it; ties keep the incumbent (FIFO fairness).
+        queued = [j for __, j in self._queue if j.state is JobState.QUEUED]
+        if not queued:  # max_queue_depth=0: nothing to shed, refuse
+            return False
+        weakest = min(queued, key=lambda j: (j.priority, -j.job_id))
+        if job.priority <= weakest.priority:
+            return False
+        self._finish_unserved(weakest, JobState.SHED, "shed")
+        self._queued_count -= 1  # lazily removed from the heap later
+        return True
+
+    def _resolve(self, job, result) -> JobResult:
+        """Hand ``result`` to the job's handle and forget the job.
+
+        Dropping the ``_handles`` entry on resolution is what keeps a
+        long-running service's memory flat: the caller's own
+        :class:`JobHandle` is the only thing pinning a terminal job's
+        result.
+        """
+        handle = self._handles.pop(job.job_id)
+        handle._resolve(result)
+        return result
+
+    def _finish_unserved(self, job, state, counter) -> JobResult:
+        """Terminalise a job that never reached a chip."""
+        job.state = state
+        self.telemetry.count(counter)
+        return self._resolve(
+            job,
+            JobResult(
+                job_id=job.job_id,
+                state=state,
+                protocol_name=getattr(job.protocol, "name", ""),
+                submitted_at=job.submitted_at,
+                started_at=job.submitted_at,
+                finished_at=job.submitted_at,
+            ),
+        )
+
+    # -- the drain loop -----------------------------------------------------
+
+    def step(self) -> JobResult | None:
+        """Advance the service by one job event.
+
+        Pops the highest-priority queued job and either expires it
+        (deadline passed before its chip was free) or dispatches it to
+        a chip, compiles or reuses its program, runs it, and meters the
+        outcome.  Returns the job's terminal :class:`JobResult`, or
+        None when the queue is empty.
+        """
+        while self._queue:
+            __, job = heapq.heappop(self._queue)
+            if job.state is not JobState.QUEUED:
+                continue  # shed after enqueue; already terminal
+            self._queued_count -= 1
+            return self._dispatch(job)
+        return None
+
+    def drain(self) -> list:
+        """Run every queued job to a terminal state, priority order."""
+        results = []
+        while True:
+            result = self.step()
+            if result is None:
+                return results
+            results.append(result)
+
+    def _dispatch(self, job) -> JobResult:
+        worker = self.policy.select(self.fleet.workers, job.fingerprint)
+        # Deadline is a queue-wait budget on the chip the job would
+        # actually run on: expiry must not punish a job for OTHER
+        # chips' progress (fleet.now) when its own chip is free.
+        if (job.deadline is not None
+                and worker.elapsed - job.submitted_at > job.deadline):
+            return self._finish_unserved(job, JobState.EXPIRED, "expired")
+        job.state = JobState.RUNNING
+        # Chips run in parallel: a chip whose local clock lags the job's
+        # submission time was simply idle in fleet wall time, so it sits
+        # (cages static) until the job could physically have arrived.
+        # This keeps every JobResult on ONE clock -- started_at is never
+        # before submitted_at, and queue waits are genuine, not clamped.
+        if worker.elapsed < job.submitted_at:
+            worker.session.backend.incubate(job.submitted_at - worker.elapsed)
+        started_at = worker.elapsed
+        run = None
+        error = None
+        cache_hit = False
+        handles = {}
+        try:
+            program, cache_hit = worker.cache.get_or_compile(
+                job.protocol, worker.session, registry=self.registry,
+                fingerprint=job.fingerprint,
+            )
+            run = worker.session.run(program, handles=handles)
+        except BiochipError as exc:
+            error = exc
+        self._sweep(worker, handles)
+        finished_at = worker.elapsed
+        worker.jobs_done += 1
+        worker.busy_time += finished_at - started_at
+        state = JobState.DONE if error is None else JobState.FAILED
+        job.state = state
+        self.telemetry.count("completed" if error is None else "failed")
+        result = JobResult(
+            job_id=job.job_id,
+            state=state,
+            protocol_name=getattr(job.protocol, "name", ""),
+            run=run,
+            error=error,
+            chip_id=worker.chip_id,
+            cache_hit=cache_hit,
+            submitted_at=job.submitted_at,
+            started_at=started_at,
+            finished_at=finished_at,
+        )
+        self.telemetry.observe_served(result)
+        return self._resolve(job, result)
+
+    @staticmethod
+    def _sweep(worker, handles):
+        """Release cages a job left on its chip.
+
+        Service jobs are independent: whether a protocol failed mid-run
+        or simply never released its cages, leftover cages would poison
+        the chip for every later job routed there.  The sweep is
+        charged to the job's chip time, like a cleanup flush.
+        """
+        sweep_handles(worker.session.backend, handles)
+
+    # -- observability ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready dict of counters, latencies, cache and fleet."""
+        return self.telemetry.snapshot(fleet=self.fleet)
+
+    def report(self) -> str:
+        """Human-readable service telemetry."""
+        return self.telemetry.report(fleet=self.fleet)

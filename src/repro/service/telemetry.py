@@ -1,0 +1,197 @@
+"""Service telemetry: counters, latency histograms, utilization report.
+
+Minimal in-process observability for the fleet execution service --
+monotonic counters for job lifecycle events, sample-keeping histograms
+for the two halves of job latency (submit->start queue wait and
+start->done service time), and a ``snapshot()`` dict / ``report()``
+table for benchmarks and dashboards.  All durations are fleet virtual
+seconds, so every number here is deterministic for a given workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import ascii_table, format_seconds
+
+
+class Counter:
+    """A monotonic event counter."""
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot add {amount}")
+        self.value += amount
+
+    def __int__(self):
+        return self.value
+
+
+class Histogram:
+    """A sample-keeping latency/throughput histogram.
+
+    Keeps every observation (service workloads are bounded, and exact
+    percentiles beat bucketed ones for reproduction assertions); exposes
+    nearest-rank percentiles, mean and max.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.samples = []
+
+    def observe(self, value):
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, p) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]; 0.0 when empty."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, -(-p * len(ordered) // 100))  # ceil without math
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> dict:
+        """count/mean/p50/p90/p99/max of the observations so far."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+#: Lifecycle counters every service tracks.
+COUNTER_NAMES = (
+    "submitted", "completed", "failed", "rejected", "shed", "expired",
+)
+
+
+@dataclass
+class Telemetry:
+    """All the meters of one :class:`ExecutionService`."""
+
+    counters: dict = field(
+        default_factory=lambda: {n: Counter(n) for n in COUNTER_NAMES}
+    )
+    queue_wait: Histogram = field(
+        default_factory=lambda: Histogram("queue_wait")
+    )
+    service_time: Histogram = field(
+        default_factory=lambda: Histogram("service_time")
+    )
+
+    def count(self, name, amount=1):
+        self.counters[name].inc(amount)
+
+    def observe_served(self, job_result):
+        """Record latencies of a job that actually ran (done/failed)."""
+        self.queue_wait.observe(job_result.queue_wait)
+        self.service_time.observe(job_result.service_time)
+
+    @property
+    def served(self) -> int:
+        return self.counters["completed"].value + self.counters["failed"].value
+
+    def throughput(self, makespan) -> float:
+        """Served jobs per fleet virtual second over ``makespan``."""
+        return self.served / makespan if makespan > 0.0 else 0.0
+
+    def snapshot(self, fleet=None) -> dict:
+        """One JSON-ready dict of every meter.
+
+        With ``fleet`` given, adds cache hit rate, per-chip utilization
+        and fleet throughput over the current virtual makespan.
+        """
+        snap = {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "queue_wait": self.queue_wait.summary(),
+            "service_time": self.service_time.summary(),
+        }
+        if fleet is not None:
+            stats = fleet.cache_stats()
+            snap["cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "hit_rate": stats.hit_rate,
+            }
+            snap["fleet"] = {
+                "n_chips": len(fleet),
+                "makespan": fleet.now,
+                "throughput": self.throughput(fleet.now),
+                "utilization": fleet.utilization(),
+                "jobs_per_chip": {
+                    w.chip_id: w.jobs_done for w in fleet.workers
+                },
+            }
+        return snap
+
+    def report(self, fleet=None) -> str:
+        """Human-readable telemetry tables."""
+        snap = self.snapshot(fleet=fleet)
+        sections = [
+            ascii_table(
+                ["counter", "value"],
+                [[name, str(value)] for name, value in
+                 snap["counters"].items()],
+                title="job lifecycle",
+            )
+        ]
+        latency_rows = []
+        for label in ("queue_wait", "service_time"):
+            s = snap[label]
+            latency_rows.append([
+                label, str(s["count"]), format_seconds(s["mean"]),
+                format_seconds(s["p50"]), format_seconds(s["p99"]),
+                format_seconds(s["max"]),
+            ])
+        sections.append(
+            ascii_table(
+                ["latency", "count", "mean", "p50", "p99", "max"],
+                latency_rows,
+                title="latency (fleet virtual time)",
+            )
+        )
+        if fleet is not None:
+            cache = snap["cache"]
+            fleet_snap = snap["fleet"]
+            sections.append(
+                ascii_table(
+                    ["chip", "jobs", "utilization"],
+                    [
+                        [str(chip_id),
+                         str(fleet_snap["jobs_per_chip"][chip_id]),
+                         f"{fraction:.0%}"]
+                        for chip_id, fraction in
+                        fleet_snap["utilization"].items()
+                    ],
+                    title=(
+                        f"fleet: {fleet_snap['n_chips']} chips, "
+                        f"{fleet_snap['throughput']:.2f} jobs/s over "
+                        f"{format_seconds(fleet_snap['makespan'])}; "
+                        f"cache hit rate {cache['hit_rate']:.0%} "
+                        f"({cache['hits']}/{cache['hits'] + cache['misses']})"
+                    ),
+                )
+            )
+        return "\n\n".join(sections)

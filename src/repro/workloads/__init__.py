@@ -3,8 +3,12 @@
 from .assays import cell_chain, random_assay, serial_assay, wide_assay
 from .protocols import (
     batch_move_protocol,
+    bursty_traffic,
     column_band_sites,
+    hot_protocol_traffic,
+    mixed_priority_traffic,
     serial_move_protocol,
+    service_protocol_variant,
     sweep_protocols,
 )
 from .sorting import (

@@ -5,9 +5,17 @@ Where :mod:`repro.workloads.sorting` produces raw routing requests and
 produce complete :class:`~repro.core.protocol.Protocol` programs ready
 for :meth:`Session.run` / :meth:`Session.run_many` -- in particular the
 serial-vs-batch move pair the batching benchmark compares.
+
+The traffic generators at the bottom (hot-protocol-repeat, mixed
+priority, bursty) feed the fleet execution service
+(:mod:`repro.service`); every randomized generator takes a ``seed`` (or
+an explicit ``rng`` to share one stream across composed generators), so
+service benchmarks are exactly reproducible.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ..core.protocol import Protocol
 
@@ -70,6 +78,109 @@ def sweep_protocols(grid, sizes, separation=2):
         batch_move_protocol(grid, size, separation=separation)
         for size in sizes
     ]
+
+
+def _traffic_rng(seed, rng):
+    """The generator's RNG: an explicit shared ``rng`` wins over ``seed``."""
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
+def service_protocol_variant(grid, variant=0, n_cages=3, separation=2,
+                             samples=200, handle_prefix="c", name=None):
+    """One small serving job: trap a band, batch-move it, sense, release.
+
+    ``variant`` changes the travel distance and sampling depth, so
+    different variants have different structural fingerprints while the
+    same variant fingerprints identically whatever ``handle_prefix`` or
+    ``name`` it was generated with -- exactly the repetition structure a
+    compiled-program cache exploits.
+    """
+    from_column = grid.cols // 4
+    travel = 3 + 2 * (variant % max(1, (grid.cols - from_column - 1) // 2 - 1))
+    to_column = min(grid.cols - 1, from_column + travel)
+    protocol = Protocol(name or f"svc-v{variant}")
+    sites = column_band_sites(grid, n_cages, from_column, separation)
+    for i, site in enumerate(sites):
+        protocol.trap(f"{handle_prefix}{i}", site)
+    protocol.move_many(
+        {f"{handle_prefix}{i}": (site[0], to_column)
+         for i, site in enumerate(sites)}
+    )
+    for i in range(n_cages):
+        protocol.sense(f"{handle_prefix}{i}", samples=samples * (1 + variant))
+    for i in range(n_cages):
+        protocol.release(f"{handle_prefix}{i}")
+    return protocol
+
+
+def hot_protocol_traffic(grid, n_jobs, n_variants=4, hot_fraction=0.9,
+                         n_cages=3, samples=200, seed=0, rng=None):
+    """Repeated-protocol serving traffic: one hot variant dominates.
+
+    A ``hot_fraction`` share of the jobs are variant 0; the rest are
+    drawn uniformly from the other variants.  Every job gets its own
+    handle names and protocol name, so only structural fingerprinting
+    (not object or name identity) can recognise the repeats.
+    """
+    rng = _traffic_rng(seed, rng)
+    protocols = []
+    for j in range(n_jobs):
+        if n_variants < 2 or rng.random() < hot_fraction:
+            variant = 0
+        else:
+            variant = int(rng.integers(1, n_variants))
+        protocols.append(
+            service_protocol_variant(
+                grid, variant, n_cages=n_cages, samples=samples,
+                handle_prefix=f"j{j}h", name=f"job{j}-v{variant}",
+            )
+        )
+    return protocols
+
+
+def mixed_priority_traffic(grid, n_jobs, n_variants=3, priorities=(0, 1, 2),
+                           n_cages=3, samples=200, seed=0, rng=None):
+    """Serving traffic with random priorities: ``(protocol, priority)``
+    pairs ready for :meth:`ExecutionService.submit_many`."""
+    rng = _traffic_rng(seed, rng)
+    jobs = []
+    for j in range(n_jobs):
+        variant = int(rng.integers(0, n_variants))
+        priority = int(priorities[int(rng.integers(0, len(priorities)))])
+        jobs.append(
+            (
+                service_protocol_variant(
+                    grid, variant, n_cages=n_cages, samples=samples,
+                    handle_prefix=f"j{j}h", name=f"job{j}-v{variant}",
+                ),
+                priority,
+            )
+        )
+    return jobs
+
+
+def bursty_traffic(grid, n_bursts, mean_burst_size=8, n_variants=3,
+                   hot_fraction=0.7, n_cages=3, samples=200, seed=0,
+                   rng=None):
+    """Bursty arrivals: a list of bursts, each a list of protocols.
+
+    Burst sizes are Poisson-distributed around ``mean_burst_size``
+    (minimum 1); within a burst the jobs follow the hot-protocol-repeat
+    mix.  Submit a whole burst, drain, repeat -- the admission-control
+    stress pattern.
+    """
+    rng = _traffic_rng(seed, rng)
+    bursts = []
+    for __ in range(n_bursts):
+        size = 1 + int(rng.poisson(max(0, mean_burst_size - 1)))
+        burst = hot_protocol_traffic(
+            grid, size, n_variants=n_variants, hot_fraction=hot_fraction,
+            n_cages=n_cages, samples=samples, rng=rng,
+        )
+        for protocol in burst:
+            protocol.name = f"b{len(bursts)}-{protocol.name}"
+        bursts.append(burst)
+    return bursts
 
 
 def _default_columns(grid, from_column, to_column):

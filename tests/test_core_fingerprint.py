@@ -1,0 +1,118 @@
+"""Unit tests for Protocol.fingerprint(): the structural protocol hash."""
+
+from repro import Protocol
+from repro.bio import mammalian_cell, polystyrene_bead
+
+
+def pair_protocol(name, cell, bead, samples=2000):
+    return (
+        Protocol(name)
+        .trap(cell, (10, 10))
+        .trap(bead, (10, 30))
+        .move(cell, (20, 20))
+        .merge(cell, bead)
+        .sense(cell, samples=samples)
+        .release(cell)
+    )
+
+
+class TestFingerprintInvariance:
+    def test_handle_names_do_not_matter(self):
+        a = pair_protocol("a", "cell", "bead")
+        b = pair_protocol("b", "x1", "x2")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_protocol_name_does_not_matter(self):
+        a = pair_protocol("production", "c", "b")
+        b = pair_protocol("staging", "c", "b")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_stable_across_calls(self):
+        protocol = pair_protocol("p", "c", "b")
+        assert protocol.fingerprint() == protocol.fingerprint()
+
+    def test_handle_references_canonicalised_in_containers(self):
+        # move_many carries handles inside nested tuples; renaming the
+        # handles consistently must not change the fingerprint
+        a = (
+            Protocol("a")
+            .trap("u", (2, 2)).trap("v", (2, 8))
+            .move_many({"u": (2, 20), "v": (2, 26)})
+        )
+        b = (
+            Protocol("b")
+            .trap("left", (2, 2)).trap("right", (2, 8))
+            .move_many({"left": (2, 20), "right": (2, 26)})
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestFingerprintSensitivity:
+    def test_order_sensitive(self):
+        # the same multiset of commands in a different order
+        a = Protocol("a").trap("h", (2, 2)).move("h", (2, 10)).move("h", (2, 20))
+        b = Protocol("b").trap("h", (2, 2)).move("h", (2, 20)).move("h", (2, 10))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_payload_sensitive(self):
+        base = pair_protocol("p", "c", "b", samples=2000)
+        deeper = pair_protocol("p", "c", "b", samples=4000)
+        assert base.fingerprint() != deeper.fingerprint()
+
+    def test_site_sensitive(self):
+        a = Protocol("p").trap("h", (2, 2)).release("h")
+        b = Protocol("p").trap("h", (2, 3)).release("h")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_particle_sensitive(self):
+        a = Protocol("p").trap("h", (2, 2), mammalian_cell()).release("h")
+        b = Protocol("p").trap("h", (2, 2), polystyrene_bead()).release("h")
+        c = Protocol("p").trap("h", (2, 2)).release("h")
+        assert len({p.fingerprint() for p in (a, b, c)}) == 3
+
+    def test_store_as_is_payload_not_handle(self):
+        # store_as is a measurement key: it must be hashed verbatim even
+        # when its value collides with a handle name, so two protocols
+        # with different keys never share a cached program
+        a = Protocol("p").trap("k", (2, 2)).sense("k", store_as="k").release("k")
+        b = Protocol("p").trap("m", (2, 2)).sense("m", store_as="m").release("m")
+        assert a.fingerprint() != b.fingerprint()
+        # without store_as the same renaming IS insensitive
+        c = Protocol("p").trap("k", (2, 2)).sense("k").release("k")
+        d = Protocol("p").trap("m", (2, 2)).sense("m").release("m")
+        assert c.fingerprint() == d.fingerprint()
+
+    def test_non_dataclass_command_hashes_verbatim(self):
+        # Protocol.add accepts arbitrary command objects; fingerprint
+        # must hash them (by repr), not crash on dataclasses.fields
+        class PlainCmd:
+            def __repr__(self):
+                return "PlainCmd(wash=3)"
+
+        protocol = Protocol("p").trap("h", (2, 2)).add(PlainCmd()).release("h")
+        assert protocol.fingerprint() == protocol.fingerprint()
+        without = Protocol("p").trap("h", (2, 2)).release("h")
+        assert protocol.fingerprint() != without.fingerprint()
+
+    def test_literal_alias_lookalike_does_not_collide(self):
+        # an (invalid) protocol referencing the literal handle "h0" must
+        # not fingerprint like a valid one whose real handle was
+        # canonicalised -- aliases are unspellable, so a cached program
+        # can never stand in for a protocol that would fail validation
+        valid = Protocol("v").trap("a", (2, 2)).sense("a").release("a")
+        invalid = Protocol("i").trap("a", (2, 2)).sense("h0").release("a")
+        assert valid.fingerprint() != invalid.fingerprint()
+
+    def test_distinct_handle_structure_distinct_hash(self):
+        # two handles doing X is not the same as one handle doing X twice
+        a = (
+            Protocol("p")
+            .trap("u", (2, 2)).trap("v", (2, 8))
+            .release("u").release("v")
+        )
+        b = (
+            Protocol("p")
+            .trap("u", (2, 2)).trap("v", (2, 8))
+            .release("v").release("u")
+        )
+        assert a.fingerprint() != b.fingerprint()

@@ -126,6 +126,57 @@ class TestRunMany:
         runs = session.run_many(protocols)
         assert [r.protocol_name for r in runs] == ["batch-move-4", "batch-move-8"]
 
+    def test_empty_run_many_divides_cleanly(self):
+        runs = Session.simulator().run_many([])
+        assert len(runs) == 0
+        assert runs.success_count == 0
+        assert runs.failures == []
+        assert runs.total_wall_time == 0.0
+        assert runs.mean_wall_time == 0.0  # no ZeroDivisionError
+        assert runs.summary() == "total: 0 runs, 0 ops, 0.0 s"
+
+    def test_success_and_failure_accounting(self):
+        session = Session.simulator()
+        # adjacent traps violate min separation at execution time
+        bad = Protocol("bad").trap("a", (5, 5)).trap("b", (5, 6))
+        runs = session.run_many(
+            [line_protocol("good"), bad], on_error="collect"
+        )
+        assert len(runs) == 2
+        assert runs.success_count == 1
+        [(index, failed)] = runs.failures
+        assert index == 1 and failed.protocol_name == "bad"
+        assert not failed.ok and "separation" in str(failed.error)
+        # the partial run (one successful trap) consumed real chip time
+        assert failed.wall_time > 0.0
+        assert "1 failed" in runs.summary()
+        assert "FAILED" in runs.summary()
+        assert runs.mean_wall_time == pytest.approx(
+            runs.total_wall_time / 2
+        )
+
+    def test_collected_failure_cages_swept_from_shared_backend(self):
+        chip = Biochip.small_chip()
+        session = Session.simulator(chip)
+        # 'bad' fails after trapping 'a' at (5, 5); its handle namespace
+        # dies with the run, so the cage must be swept or 'good' (same
+        # site, shared backend) would fail too
+        bad = Protocol("bad").trap("a", (5, 5)).trap("b", (5, 6))
+        good = Protocol("good").trap("p", (5, 5)).release("p")
+        runs = session.run_many([bad, good], isolated=False,
+                                on_error="collect")
+        assert runs.success_count == 1
+        assert runs[1].ok
+        assert chip.cage_count == 0
+
+    def test_on_error_raise_is_default(self):
+        session = Session.simulator()
+        bad = Protocol("bad").trap("a", (5, 5)).trap("b", (5, 6))
+        with pytest.raises(ExecutionError):
+            session.run_many([bad])
+        with pytest.raises(ValueError, match="on_error"):
+            session.run_many([], on_error="ignore")
+
 
 class TestExecutorShim:
     def test_handle_state_reset_between_runs(self):

@@ -1,0 +1,164 @@
+"""Dispatch-policy tests: who wins on which traffic shape.
+
+Least-loaded must beat round-robin on size-skewed jobs, and affinity
+must keep the fleet-wide compiled-program cache hit rate high on
+hot-protocol-repeat traffic -- the two properties the serving layer is
+built around.
+"""
+
+import pytest
+
+from repro import Biochip, ExecutionService, ServiceConfig
+from repro.service import (
+    AffinityPolicy,
+    Fleet,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.workloads import hot_protocol_traffic, service_protocol_variant
+
+GRID = Biochip.small_chip().grid
+
+
+def serve(policy, jobs, n_chips=2):
+    service = ExecutionService.dry_run(
+        ServiceConfig(n_chips=n_chips, policy=policy), grid=GRID
+    )
+    service.submit_many(jobs)
+    service.drain()
+    return service
+
+
+def skewed_jobs(n_pairs=6, heavy_seconds=100.0):
+    """Alternating heavy/light jobs: adversarial for blind rotation.
+
+    Round-robin on 2 chips sends every heavy job to chip 0 and every
+    light job to chip 1; least-loaded interleaves them.
+    """
+    from repro import Protocol
+
+    jobs = []
+    for i in range(n_pairs):
+        jobs.append(
+            Protocol(f"heavy{i}")
+            .trap("p", (2, 2))
+            .incubate("p", heavy_seconds)
+            .release("p")
+        )
+        jobs.append(
+            Protocol(f"light{i}").trap("p", (2, 2)).release("p")
+        )
+    return jobs
+
+
+class TestPolicySelection:
+    def test_make_policy_resolves_names_and_instances(self):
+        assert isinstance(make_policy("round-robin"), RoundRobinPolicy)
+        assert isinstance(make_policy("least-loaded"), LeastLoadedPolicy)
+        assert isinstance(make_policy("affinity"), AffinityPolicy)
+        custom = LeastLoadedPolicy()
+        assert make_policy(custom) is custom
+        with pytest.raises(ValueError, match="unknown dispatch policy"):
+            make_policy("random")
+
+    def test_round_robin_rotates(self):
+        service = serve("round-robin", skewed_jobs(4), n_chips=2)
+        per_chip = service.snapshot()["fleet"]["jobs_per_chip"]
+        assert per_chip[0] == per_chip[1] == 4  # blind 50/50 split
+
+
+class TestLeastLoadedBeatsRoundRobin:
+    def test_skewed_workload_makespan(self):
+        jobs = skewed_jobs(6)
+        rr = serve("round-robin", jobs, n_chips=2)
+        ll = serve("least-loaded", jobs, n_chips=2)
+        # identical total work either way...
+        assert ll.fleet.total_busy_time == pytest.approx(
+            rr.fleet.total_busy_time, rel=0.01
+        )
+        # ...but round-robin stacks all heavy jobs on one chip, so its
+        # makespan (fleet virtual wall time) is much worse
+        assert ll.fleet.now < 0.7 * rr.fleet.now
+
+    def test_least_loaded_balances_utilization(self):
+        jobs = skewed_jobs(6)
+        rr_util = serve("round-robin", jobs, 2).snapshot()["fleet"]["utilization"]
+        ll_util = serve("least-loaded", jobs, 2).snapshot()["fleet"]["utilization"]
+        assert min(ll_util.values()) > min(rr_util.values())
+        assert min(ll_util.values()) > 0.8
+
+
+class TestAffinityCacheLocality:
+    def test_affinity_hit_rate_on_hot_repeat(self):
+        jobs = hot_protocol_traffic(GRID, 120, hot_fraction=0.9, seed=11)
+        service = serve("affinity", jobs, n_chips=4)
+        stats = service.fleet.cache_stats()
+        assert stats.hit_rate >= 0.90
+
+    def test_affinity_beats_round_robin_on_misses(self):
+        jobs = hot_protocol_traffic(GRID, 120, hot_fraction=0.9, seed=11)
+        affinity = serve("affinity", jobs, n_chips=4)
+        rr = serve("round-robin", jobs, n_chips=4)
+        assert (affinity.fleet.cache_stats().misses
+                < rr.fleet.cache_stats().misses)
+
+    def test_bounded_load_affinity_still_uses_the_fleet(self):
+        # a single hot fingerprint must not serialise all chips behind
+        # one cache: bounded-load affinity spreads it
+        jobs = hot_protocol_traffic(GRID, 80, hot_fraction=1.0, seed=3)
+        service = serve("affinity", jobs, n_chips=4)
+        per_chip = service.snapshot()["fleet"]["jobs_per_chip"]
+        assert sum(1 for count in per_chip.values() if count > 0) == 4
+
+    def test_pure_sticky_affinity_pins_to_one_chip(self):
+        jobs = hot_protocol_traffic(GRID, 20, hot_fraction=1.0, seed=3)
+        service = serve(AffinityPolicy(load_factor=None), jobs, n_chips=4)
+        per_chip = service.snapshot()["fleet"]["jobs_per_chip"]
+        assert sum(1 for count in per_chip.values() if count > 0) == 1
+        assert service.fleet.cache_stats().misses == 1
+
+    def test_affinity_forgets_homes_whose_program_was_evicted(self):
+        from repro.core.backend import DryRunBackend
+
+        fleet = Fleet.spawn(DryRunBackend(grid=GRID), 2, cache_capacity=1)
+        w0, w1 = fleet.workers
+        policy = AffinityPolicy(load_factor=None)  # pure sticky
+        assert policy.select(fleet.workers, "fpA") is w0  # first placement
+        w0.cache.put(("fpA", GRID.rows, GRID.cols), object())
+        w0.busy_time = 100.0  # w0 is now the loaded chip
+        assert policy.select(fleet.workers, "fpA") is w0  # sticky while cached
+        # another fingerprint's program evicts fpA from w0's 1-slot cache
+        w0.cache.put(("fpB", GRID.rows, GRID.cols), object())
+        assert not w0.cache.holds_fingerprint("fpA")
+        # the stale home claim must not keep routing fpA to w0
+        assert policy.select(fleet.workers, "fpA") is w1
+
+    def test_affinity_homes_map_is_bounded(self):
+        from repro.core.backend import DryRunBackend
+
+        fleet = Fleet.spawn(DryRunBackend(grid=GRID), 2, cache_capacity=None)
+        policy = AffinityPolicy(max_tracked=2)
+        for i in range(5):
+            policy.select(fleet.workers, f"fp{i}")
+        assert len(policy._homes) <= 2
+
+    def test_empty_fleet_rejected_even_from_iterator(self):
+        with pytest.raises(ValueError, match="at least one chip"):
+            Fleet(iter([]))
+        with pytest.raises(ValueError, match="n_chips"):
+            from repro.core.backend import DryRunBackend
+
+            Fleet.spawn(DryRunBackend(grid=GRID), 0)
+
+    def test_fleet_spawn_isolation(self):
+        from repro.core.backend import DryRunBackend
+
+        template = DryRunBackend(grid=GRID)
+        template.trap((5, 5))
+        fleet = Fleet.spawn(template, 3)
+        assert len(fleet) == 3
+        assert all(w.session.backend.cage_count == 0 for w in fleet)
+        assert all(w.elapsed == 0.0 for w in fleet)
+        backends = {id(w.session.backend) for w in fleet}
+        assert len(backends) == 3
