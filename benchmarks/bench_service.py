@@ -20,6 +20,7 @@ Run with:  pytest benchmarks/bench_service.py --benchmark-only -s
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -29,8 +30,12 @@ from repro import Biochip, ExecutionService, ServiceConfig, Session
 from repro.analysis import ascii_table, format_seconds
 from repro.core.backend import SimulatorBackend
 
-N_JOBS = 64
-N_CHIPS = 8
+# REPRO_BENCH_SMOKE=1 (the CI smoke job) shrinks the workload and drops
+# the perf-bar asserts: CI fails on a crash, not on a slow runner.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+N_JOBS = 12 if SMOKE else 64
+N_CHIPS = 2 if SMOKE else 8
 HOT_FRACTION = 0.9
 SEED = 11
 
@@ -141,6 +146,8 @@ def test_service_throughput_vs_naive(benchmark):
             ),
         )
     )
+    if SMOKE:
+        return  # smoke job: fail on crash, not on perf regression
     # the acceptance bar: the fleet delivers >= 5x virtual-time
     # throughput (compilation costs host CPU, not chip seconds, so this
     # half of the gain is pure parallelism)...

@@ -37,7 +37,6 @@ from .core import (
     CompiledProgram,
     DryRunBackend,
     ExecutionError,
-    Executor,
     Protocol,
     ProtocolError,
     RunResult,
@@ -63,7 +62,6 @@ __all__ = [
     "DryRunBackend",
     "ExecutionError",
     "ExecutionService",
-    "Executor",
     "JobState",
     "Protocol",
     "ProtocolError",

@@ -11,31 +11,73 @@ rule that keeps neighbouring cages from merging accidentally, performs
 atomic parallel steps, and emits the corresponding
 :class:`~repro.array.patterns.ArrayFrame` sequence for the addressing
 and physics layers.
+
+Since the vectorization refactor the geometry bookkeeping lives in a
+:class:`~repro.array.state.ArrayState` (numpy occupancy + cage-id
+grids): a frame step validates only the movers' dirty neighbourhoods
+with gather-indexed array ops, so stepping K cages out of the paper's
+tens of thousands costs O(K), not O(population).  The original dict
+implementation survives as
+:class:`~repro.array.legacy.LegacyCageManager` for the equivalence
+suite and the before/after benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
+
+import numpy as np
 
 from .grid import ElectrodeGrid
-from .patterns import ArrayFrame, cage_frame
+from .patterns import ArrayFrame
+from .state import NO_CAGE, ArrayState, separation_offsets
 
 
 class CageError(Exception):
     """Violation of cage placement or motion rules."""
 
 
-@dataclass
 class Cage:
-    """One DEP cage: an identity plus a grid site and optional payload."""
+    """One DEP cage: an identity plus a grid site and optional payload.
 
-    cage_id: int
-    site: tuple  # (row, col)
-    payload: object = None  # e.g. a DrawnParticle, or None for an empty cage
+    When created by the vectorized :class:`CageManager`, ``site`` is a
+    live view into the manager's :class:`~repro.array.state.ArrayState`
+    id-indexed site table, so batch steps never need a per-cage Python
+    update pass.  Standalone construction (and the legacy manager)
+    stores the site on the instance and assignment works as before.
+    """
+
+    __slots__ = ("cage_id", "payload", "_site", "_state")
+
+    def __init__(self, cage_id, site, payload=None, state=None):
+        self.cage_id = cage_id
+        self.payload = payload
+        self._state = state
+        self._site = tuple(site) if state is None else None
+
+    @property
+    def site(self) -> tuple:
+        """(row, col) of the cage centre."""
+        if self._state is not None:
+            return self._state.site_of(self.cage_id)
+        return self._site
+
+    @site.setter
+    def site(self, value):
+        if self._state is not None:
+            raise AttributeError(
+                "cage sites are owned by the ArrayState; move cages "
+                "through CageManager.step"
+            )
+        self._site = tuple(value)
 
     @property
     def occupied(self) -> bool:
         return self.payload is not None
+
+    def __repr__(self):
+        return f"Cage(cage_id={self.cage_id}, site={self.site}, payload={self.payload!r})"
 
 
 @dataclass
@@ -58,17 +100,22 @@ class CageManager:
     grid: ElectrodeGrid
     min_separation: int = 2
     _cages: dict = field(default_factory=dict)
-    _sites: dict = field(default_factory=dict)
     _next_id: int = 0
 
     def __post_init__(self):
         if self.min_separation < 1:
             raise CageError("min_separation must be >= 1")
+        self._state = ArrayState(self.grid)
 
     # -- queries ---------------------------------------------------------
 
     def __len__(self):
         return len(self._cages)
+
+    @property
+    def state(self) -> ArrayState:
+        """The numpy occupancy/cage-id grids (single source of truth)."""
+        return self._state
 
     @property
     def cages(self):
@@ -84,12 +131,15 @@ class CageManager:
 
     def cage_at(self, site):
         """The cage occupying ``site``, or None."""
-        cage_id = self._sites.get(tuple(site))
+        site = tuple(site)
+        if not self.grid.in_bounds(*site):
+            return None
+        cage_id = self._state.id_at(site)
         return self._cages[cage_id] if cage_id is not None else None
 
     def sites(self):
-        """Sorted list of occupied sites."""
-        return sorted(self._sites)
+        """Sorted list of occupied sites (row-major grid order)."""
+        return self._state.sites()
 
     def max_cage_count(self) -> int:
         """Capacity of the array under the separation rule."""
@@ -102,19 +152,13 @@ class CageManager:
         """Cage ids violating separation against a (proposed) site.
 
         Separation is a local property, so only the (2s-1)^2 site
-        neighbourhood needs checking -- a dict lookup per neighbour,
-        keeping creation and stepping O(1) per cage even with the
+        neighbourhood needs checking -- one clipped window gather on the
+        cage-id grid, keeping creation O(1) per cage even with the
         paper's tens of thousands of cages live.
         """
-        row, col = site
-        radius = self.min_separation - 1
-        conflicts = []
-        for dr in range(-radius, radius + 1):
-            for dc in range(-radius, radius + 1):
-                other_id = self._sites.get((row + dr, col + dc))
-                if other_id is not None and other_id != ignore_id:
-                    conflicts.append(other_id)
-        return conflicts
+        return self._state.ids_in_window(
+            site, self.min_separation - 1, ignore_id=ignore_id
+        )
 
     # -- mutations -------------------------------------------------------
 
@@ -123,18 +167,24 @@ class CageManager:
         site = tuple(site)
         if not self.grid.in_bounds(*site):
             raise CageError(f"cage site {site} out of bounds")
-        if self._conflicts(site):
+        if self._state.window_occupied(site, self.min_separation - 1):
             raise CageError(f"cage at {site} violates min separation {self.min_separation}")
-        cage = Cage(self._next_id, site, payload)
+        cage = Cage(self._next_id, site, payload, state=self._state)
+        self._state.add(cage.cage_id, site)
         self._cages[cage.cage_id] = cage
-        self._sites[site] = cage.cage_id
         self._next_id += 1
         return cage
 
     def release(self, cage_id):
         """Remove a cage (dropping its payload back to the chamber)."""
         cage = self.cage(cage_id)
-        del self._sites[cage.site]
+        site = cage.site
+        # Detach the cage from the state before the site entry dies, so
+        # callers holding the returned object can still read its last
+        # position.
+        cage._state = None
+        cage._site = site
+        self._state.remove(site)
         del self._cages[cage_id]
         return cage
 
@@ -152,52 +202,188 @@ class CageManager:
 
         One call corresponds to one array-frame update: this is the
         granularity at which the addressing layer reprograms rows and
-        the physics layer drags particles.
+        the physics layer drags particles.  Validation is a dirty-region
+        pass over the movers only (only pairs involving a mover can
+        newly collide, swap, or violate separation), as vectorized
+        gathers on the :class:`~repro.array.state.ArrayState` grids.
         """
-        destinations = {}
+        if not moves:
+            return
+        k = len(moves)
+        state = self._state
+        if k <= 8:
+            # Scalar fast path: for a handful of movers (single-cage
+            # routing steps, small protocols) the numpy conversion and
+            # gather setup costs more than it saves.  Same grids, same
+            # checks, same error priorities.
+            return self._step_scalar(moves)
+        ids = np.fromiter(moves.keys(), dtype=np.int64, count=k)
+        # Flattened scalar fromiter is ~3x faster than the (int64, 2)
+        # record dtype for the dict -> array conversion, which dominates
+        # whole-array steps.
+        deltas = np.fromiter(
+            chain.from_iterable(moves.values()), dtype=np.int64, count=2 * k
+        ).reshape(k, 2)
+        # Per-mover validity (vectorized, reported in the legacy
+        # per-mover priority: oversize delta, then unknown cage, then
+        # destination bounds -- for the first bad mover in moves order).
+        bad_delta = (np.abs(deltas) > 1).any(axis=1)
+        alive = state.alive_mask(ids)
+        clipped = np.clip(ids, 0, state._site_r.size - 1)
+        orig_r, orig_c = state.sites_of(clipped)
+        dest_r = orig_r + deltas[:, 0]
+        dest_c = orig_c + deltas[:, 1]
+        bad_bounds = (
+            (dest_r < 0)
+            | (dest_r >= self.grid.rows)
+            | (dest_c < 0)
+            | (dest_c >= self.grid.cols)
+        )
+        bad = bad_delta | ~alive | bad_bounds
+        if bad.any():
+            index = int(np.argmax(bad))
+            cage_id = int(ids[index])
+            if bad_delta[index]:
+                raise CageError(f"cage {cage_id}: step larger than one electrode")
+            if not alive[index]:
+                raise CageError(f"no cage with id {cage_id}")
+            dest = (int(dest_r[index]), int(dest_c[index]))
+            raise CageError(f"cage {cage_id}: destination {dest} out of bounds")
+
+        # Collisions (a): two movers claiming the same destination.
+        dest_keys = dest_r * self.grid.cols + dest_c
+        order = np.argsort(dest_keys, kind="stable")
+        sorted_keys = dest_keys[order]
+        dup = np.nonzero(sorted_keys[1:] == sorted_keys[:-1])[0]
+        if dup.size:
+            i, j = int(order[dup[0]]), int(order[dup[0] + 1])
+            raise CageError(
+                f"cages {int(ids[i])} and {int(ids[j])} collide at "
+                f"{(int(dest_r[j]), int(dest_c[j]))}"
+            )
+        # Collisions (b): a mover's destination holds a non-mover.  A
+        # pre-state occupant that IS a mover is a legal chain (it vacates
+        # this frame) -- unless it swaps with us, handled below.
+        occupant = state.cage_ids[dest_r, dest_c]
+        occupied = occupant != NO_CAGE
+        is_mover = np.zeros(state._site_r.size, dtype=bool)
+        is_mover[ids] = True
+        stationary_hit = occupied & ~is_mover[np.where(occupied, occupant, 0)]
+        if stationary_hit.any():
+            index = int(np.argmax(stationary_hit))
+            raise CageError(
+                f"cages {int(occupant[index])} and {int(ids[index])} "
+                f"collide at {(int(dest_r[index]), int(dest_c[index]))}"
+            )
+        # Swaps: mover m lands on mover o's origin while o lands on m's
+        # origin -- the cages would pass through each other mid-frame,
+        # which physically merges them.
+        chained = occupied & (occupant != ids)
+        if chained.any():
+            dest_of_r = np.full(state._site_r.size, -1, dtype=np.int64)
+            dest_of_c = np.full(state._site_r.size, -1, dtype=np.int64)
+            dest_of_r[ids] = dest_r
+            dest_of_c[ids] = dest_c
+            others = occupant[chained]
+            swap = (dest_of_r[others] == orig_r[chained]) & (
+                dest_of_c[others] == orig_c[chained]
+            )
+            if swap.any():
+                index = int(np.nonzero(chained)[0][np.argmax(swap)])
+                raise CageError(
+                    f"cages {int(ids[index])} and {int(occupant[index])} "
+                    f"swap sites {(int(dest_r[index]), int(dest_c[index]))}"
+                )
+        # Separation: check only the movers' post-state neighbourhoods.
+        conflict = state.post_move_conflict(
+            orig_r, orig_c, dest_r, dest_c, self.min_separation
+        )
+        if conflict is not None:
+            index, site, other = conflict
+            raise CageError(
+                f"separation violated between cages {int(ids[index])} "
+                f"and {other} at {site}"
+            )
+        # Commit: grids and the id-indexed site table update in one
+        # vectorized pass; Cage.site reads the table, so no per-cage
+        # Python update is needed.
+        state.move_cages(orig_r, orig_c, dest_r, dest_c, ids)
+
+    def _step_scalar(self, moves):
+        """Scalar step for small mover counts (same semantics as the
+        vectorized path, on the same :class:`ArrayState` grids).
+
+        Grid reads go through ``ndarray.item`` on flat indices -- the
+        cheapest scalar access numpy offers -- since a one-mover step
+        only touches a couple of dozen sites.
+        """
+        state = self._state
+        rows, cols = self.grid.rows, self.grid.cols
+        site_r = state._site_r
+        site_c = state._site_c
+        cage_grid = state.cage_ids
+        capacity = site_r.size
+        origins = {}
+        dests = {}
         for cage_id, (drow, dcol) in moves.items():
             if abs(drow) > 1 or abs(dcol) > 1:
                 raise CageError(f"cage {cage_id}: step larger than one electrode")
-            cage = self.cage(cage_id)
-            dest = (cage.site[0] + drow, cage.site[1] + dcol)
-            if not self.grid.in_bounds(*dest):
+            orig_row = (
+                site_r.item(cage_id) if 0 <= cage_id < capacity else -1
+            )
+            if orig_row < 0:
+                raise CageError(f"no cage with id {cage_id}")
+            orig_col = site_c.item(cage_id)
+            dest = (orig_row + drow, orig_col + dcol)
+            if not (0 <= dest[0] < rows and 0 <= dest[1] < cols):
                 raise CageError(f"cage {cage_id}: destination {dest} out of bounds")
-            destinations[cage_id] = dest
-        # Post-state sites: moved cages at destinations, others in place.
-        post = {}
-        for cage_id, cage in self._cages.items():
-            site = destinations.get(cage_id, cage.site)
-            if site in post:
-                raise CageError(f"cages {post[site]} and {cage_id} collide at {site}")
-            post[site] = cage_id
-        # Reject swaps: two cages exchanging sites would have to pass
-        # through each other mid-frame, which physically merges them.
-        for cage_id, dest in destinations.items():
-            other_id = self._sites.get(dest)
-            if other_id is not None and other_id != cage_id:
-                other_dest = destinations.get(other_id)
-                if other_dest == self._cages[cage_id].site:
+            origins[cage_id] = (orig_row, orig_col)
+            dests[cage_id] = dest
+        claimed = {}
+        for cage_id, dest in dests.items():
+            first = claimed.get(dest)
+            if first is not None:
+                raise CageError(
+                    f"cages {first} and {cage_id} collide at {dest}"
+                )
+            claimed[dest] = cage_id
+        for cage_id, dest in dests.items():
+            occupant = cage_grid.item(dest[0] * cols + dest[1])
+            if occupant == NO_CAGE or occupant == cage_id:
+                continue
+            if occupant not in dests:
+                raise CageError(
+                    f"cages {occupant} and {cage_id} collide at {dest}"
+                )
+            if dests[occupant] == origins[cage_id]:
+                raise CageError(
+                    f"cages {cage_id} and {occupant} swap sites {dest}"
+                )
+        for cage_id, dest in dests.items():
+            for drow, dcol in separation_offsets(self.min_separation):
+                row, col = dest[0] + drow, dest[1] + dcol
+                if not (0 <= row < rows and 0 <= col < cols):
+                    continue
+                other = claimed.get((row, col))
+                if other is None:
+                    occupant = cage_grid.item(row * cols + col)
+                    if occupant != NO_CAGE and occupant not in dests:
+                        other = occupant
+                if other is not None and other != cage_id:
                     raise CageError(
-                        f"cages {cage_id} and {other_id} swap sites {dest}"
+                        f"separation violated between cages {cage_id} "
+                        f"and {other} at {dest}"
                     )
-        radius = self.min_separation - 1
-        for (row, col), cage_id in post.items():
-            for dr in range(-radius, radius + 1):
-                for dc in range(-radius, radius + 1):
-                    if dr == 0 and dc == 0:
-                        continue
-                    other_id = post.get((row + dr, col + dc))
-                    if other_id is not None:
-                        raise CageError(
-                            f"separation violated between cages {cage_id} "
-                            f"and {other_id} at ({row}, {col})"
-                        )
-        # Commit.
-        for cage_id, dest in destinations.items():
-            cage = self._cages[cage_id]
-            del self._sites[cage.site]
-            cage.site = dest
-            self._sites[dest] = cage_id
+        # Commit: clear every origin first so chains move correctly.
+        occupancy = state.occupancy
+        for cage_id, site in origins.items():
+            occupancy[site] = False
+            cage_grid[site] = NO_CAGE
+        for cage_id, dest in dests.items():
+            occupancy[dest] = True
+            cage_grid[dest] = cage_id
+            site_r[cage_id] = dest[0]
+            site_c[cage_id] = dest[1]
 
     def merge(self, cage_id_a, cage_id_b):
         """Merge cage b into cage a (they must be adjacent within 2*sep).
@@ -227,8 +413,12 @@ class CageManager:
     # -- frame generation --------------------------------------------------
 
     def frame(self) -> ArrayFrame:
-        """The :class:`ArrayFrame` realising the current cage set."""
-        return cage_frame(self.grid, self.sites())
+        """The :class:`ArrayFrame` realising the current cage set.
+
+        Emitted straight from the occupancy grid (two whole-array numpy
+        ops) instead of looping over sorted cage sites.
+        """
+        return ArrayFrame(self.grid, self._state.frame_phases())
 
 
 def tile_cages(manager, spacing=None, payloads=None):

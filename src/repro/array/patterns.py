@@ -62,8 +62,10 @@ class ArrayFrame:
                     f"phase array shape {self.phases.shape} does not match grid "
                     f"({self.grid.rows}, {self.grid.cols})"
                 )
-            valid = np.isin(self.phases, [p.value for p in Phase])
-            if not np.all(valid):
+            # Phase values are exactly {-1, 0, +1}, so an abs bound is a
+            # complete membership test (and much cheaper than np.isin
+            # on the per-frame hot path).
+            if self.phases.size and int(np.abs(self.phases).max()) > 1:
                 raise ValueError("phase array contains values outside the Phase enum")
 
     def copy(self) -> "ArrayFrame":

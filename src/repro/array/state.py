@@ -1,0 +1,331 @@
+"""Vectorized array state: the single source of truth for cage bookkeeping.
+
+The paper's chip is a 320 x 320 array manipulating tens of thousands of
+DEP cages per frame; per-site Python dictionaries cannot keep up with
+that ("one frame" means re-validating the whole population).
+:class:`ArrayState` holds the live array state as numpy grids:
+
+* ``occupancy`` -- bool (rows, cols), True where a cage centre sits;
+* ``cage_ids``  -- int32 (rows, cols), the occupying cage id (-1 empty);
+
+plus the payload index kept by the owning manager.  Every layer that
+used to rebuild per-site Python structures (cage stepping, routing
+obstacle maps, frame emission, batched sensing) reads these grids
+directly, so the per-frame cost is a handful of whole-array or
+gather-indexed numpy ops instead of ``O(cages * neighbourhood)`` dict
+probes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .grid import ElectrodeGrid
+
+#: Sentinel for "no cage" in the id grid.
+NO_CAGE = -1
+
+
+@lru_cache(maxsize=None)
+def separation_offsets(separation):
+    """The (drow, dcol) offsets of a Chebyshev-(separation-1) window,
+    excluding (0, 0) -- the neighbourhood the spacing rule inspects."""
+    radius = separation - 1
+    return [
+        (dr, dc)
+        for dr in range(-radius, radius + 1)
+        for dc in range(-radius, radius + 1)
+        if not (dr == 0 and dc == 0)
+    ]
+
+
+def inflate_mask(mask, radius):
+    """Chebyshev dilation of a boolean grid by ``radius`` sites.
+
+    The routing layer's obstacle inflation: a cage centre blocks every
+    site within Chebyshev distance < separation, i.e. radius
+    ``separation - 1``.  Implemented as shifted ORs -- ``(2r+1)^2``
+    whole-array ops instead of a Python loop over every blocked site.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if radius <= 0:
+        return mask.copy()
+    out = mask.copy()
+    rows, cols = mask.shape
+    for dr in range(-radius, radius + 1):
+        for dc in range(-radius, radius + 1):
+            if dr == 0 and dc == 0:
+                continue
+            src_r = slice(max(0, -dr), min(rows, rows - dr))
+            src_c = slice(max(0, -dc), min(cols, cols - dc))
+            dst_r = slice(max(0, dr), min(rows, rows + dr))
+            dst_c = slice(max(0, dc), min(cols, cols + dc))
+            out[dst_r, dst_c] |= mask[src_r, src_c]
+    return out
+
+
+def first_pairwise_violation(sites, separation, rows, cols):
+    """First pair of sites closer than ``separation`` (Chebyshev), or None.
+
+    Vectorized replacement for the O(n^2) pairwise loop: scatter counts
+    onto the grid, box-sum them with an integral image, and only walk a
+    neighbourhood in Python on the (rare) failure path to name the pair.
+    """
+    sites = list(sites)
+    if len(sites) < 2:
+        return None
+    if len(sites) < 48:
+        # Small batches: the O(n^2) scan beats building whole-grid
+        # count/integral arrays.
+        for i, a in enumerate(sites):
+            for b in sites[i + 1 :]:
+                if max(abs(a[0] - b[0]), abs(a[1] - b[1])) < separation:
+                    return tuple(a), tuple(b)
+        return None
+    r = np.fromiter((s[0] for s in sites), dtype=np.int64, count=len(sites))
+    c = np.fromiter((s[1] for s in sites), dtype=np.int64, count=len(sites))
+    counts = np.zeros((rows, cols), dtype=np.int32)
+    np.add.at(counts, (r, c), 1)
+    radius = separation - 1
+    # integral image: window_sum[i, j] = sum of counts in the clipped
+    # Chebyshev-radius window centred on (i, j)
+    integral = np.zeros((rows + 1, cols + 1), dtype=np.int64)
+    np.cumsum(counts, axis=0, out=integral[1:, 1:])
+    np.cumsum(integral[1:, 1:], axis=1, out=integral[1:, 1:])
+    r0 = np.clip(r - radius, 0, rows)
+    r1 = np.clip(r + radius + 1, 0, rows)
+    c0 = np.clip(c - radius, 0, cols)
+    c1 = np.clip(c + radius + 1, 0, cols)
+    window = (
+        integral[r1, c1] - integral[r0, c1] - integral[r1, c0] + integral[r0, c0]
+    )
+    offending = np.nonzero(window > 1)[0]
+    if offending.size == 0:
+        return None
+    i = int(offending[0])
+    a = (int(r[i]), int(c[i]))
+    for j, b in enumerate(sites):
+        if j != i and max(abs(a[0] - b[0]), abs(a[1] - b[1])) < separation:
+            return a, tuple(b)
+    return a, a  # duplicate site: the window double-counts (i) itself
+
+
+class ArrayState:
+    """Numpy-backed occupancy + cage-id grids for one electrode array.
+
+    Mutations keep the two grids consistent; queries are O(1) array
+    reads or vectorized gathers.  The payload/identity index (cage id ->
+    object) lives with the owner (:class:`~repro.array.cages.CageManager`
+    keeps :class:`~repro.array.cages.Cage` objects) -- this class is the
+    *geometry* source of truth.
+    """
+
+    def __init__(self, grid: ElectrodeGrid):
+        self.grid = grid
+        self.occupancy = np.zeros((grid.rows, grid.cols), dtype=bool)
+        self.cage_ids = np.full((grid.rows, grid.cols), NO_CAGE, dtype=np.int32)
+        # id-indexed site table (the inverse of cage_ids): -1 == dead.
+        # Grown geometrically as ids are allocated; lets batch ops gather
+        # every mover's site in one indexing op, and lets Cage.site be a
+        # zero-maintenance view instead of a per-step Python update.
+        self._site_r = np.full(256, -1, dtype=np.int32)
+        self._site_c = np.full(256, -1, dtype=np.int32)
+        # scratch buffer for post_move_conflict, reused across frames
+        self._conflict_canvas = None
+
+    def _ensure_capacity(self, cage_id):
+        size = self._site_r.size
+        if cage_id >= size:
+            new_size = max(size * 2, cage_id + 1)
+            for name in ("_site_r", "_site_c"):
+                grown = np.full(new_size, -1, dtype=np.int32)
+                grown[:size] = getattr(self, name)
+                setattr(self, name, grown)
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self):
+        return int(np.count_nonzero(self.occupancy))
+
+    def id_at(self, site):
+        """Cage id at ``site`` or None."""
+        cage_id = int(self.cage_ids[site[0], site[1]])
+        return None if cage_id == NO_CAGE else cage_id
+
+    def site_of(self, cage_id):
+        """Current (row, col) of a live cage id, or None."""
+        if not 0 <= cage_id < self._site_r.size:
+            return None
+        row = int(self._site_r[cage_id])
+        if row < 0:
+            return None
+        return (row, int(self._site_c[cage_id]))
+
+    def sites_of(self, ids):
+        """(rows, cols) int arrays for an array of live cage ids."""
+        return self._site_r[ids], self._site_c[ids]
+
+    def alive_mask(self, ids):
+        """Boolean mask of which ids in an int array are live cages."""
+        ids = np.asarray(ids)
+        safe = np.clip(ids, 0, self._site_r.size - 1)
+        return (ids >= 0) & (ids < self._site_r.size) & (self._site_r[safe] >= 0)
+
+    def sites(self):
+        """Occupied sites in row-major (sorted) order, as int tuples."""
+        rows, cols = np.nonzero(self.occupancy)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def ids_in_window(self, site, radius, ignore_id=None):
+        """Cage ids within Chebyshev ``radius`` of ``site`` (clipped).
+
+        The vectorized counterpart of the legacy per-neighbour dict
+        probes; used by creation checks and approach-site search.
+        """
+        row, col = site
+        r0, r1, c0, c1 = self.grid.window(row, col, radius)
+        ids = self.cage_ids[r0 : r1 + 1, c0 : c1 + 1]
+        found = ids[ids != NO_CAGE]
+        if ignore_id is not None:
+            found = found[found != ignore_id]
+        return [int(i) for i in found]
+
+    def window_occupied(self, site, radius, ignore_id=None) -> bool:
+        """Whether any cage (other than ``ignore_id``) sits within
+        Chebyshev ``radius`` of ``site``."""
+        row, col = site
+        r0, r1, c0, c1 = self.grid.window(row, col, radius)
+        ids = self.cage_ids[r0 : r1 + 1, c0 : c1 + 1]
+        if ignore_id is None:
+            return bool((ids != NO_CAGE).any())
+        return bool(((ids != NO_CAGE) & (ids != ignore_id)).any())
+
+    def obstacle_mask(self, exclude_site=None):
+        """Boolean occupancy copy, optionally with one site cleared.
+
+        The routing layer builds :class:`~repro.routing.astar.ObstacleMap`
+        straight from this instead of materialising per-call site sets.
+        """
+        mask = self.occupancy.copy()
+        if exclude_site is not None:
+            mask[exclude_site[0], exclude_site[1]] = False
+        return mask
+
+    def frame_phases(self, background=1, counter=-1):
+        """int8 phase grid realising the cage set (frame emission).
+
+        Background electrodes in phase, each cage centre counter-phase:
+        two whole-array ops instead of a per-cage Python loop.
+        """
+        phases = np.full((self.grid.rows, self.grid.cols), background, dtype=np.int8)
+        phases[self.occupancy] = counter
+        return phases
+
+    # -- mutations -------------------------------------------------------
+
+    def add(self, cage_id, site):
+        self._ensure_capacity(cage_id)
+        self.occupancy[site[0], site[1]] = True
+        self.cage_ids[site[0], site[1]] = cage_id
+        self._site_r[cage_id] = site[0]
+        self._site_c[cage_id] = site[1]
+
+    def remove(self, site):
+        cage_id = self.cage_ids[site[0], site[1]]
+        self.occupancy[site[0], site[1]] = False
+        self.cage_ids[site[0], site[1]] = NO_CAGE
+        if cage_id != NO_CAGE:
+            self._site_r[cage_id] = -1
+            self._site_c[cage_id] = -1
+
+    def move_cages(self, origins_r, origins_c, dests_r, dests_c, ids):
+        """Commit a batch of moves (arrays of equal length).
+
+        Origins are cleared before destinations are written so chains
+        (a cage stepping into a site another cage vacates this frame)
+        commit correctly.
+        """
+        self.occupancy[origins_r, origins_c] = False
+        self.cage_ids[origins_r, origins_c] = NO_CAGE
+        self.occupancy[dests_r, dests_c] = True
+        self.cage_ids[dests_r, dests_c] = ids
+        self._site_r[ids] = dests_r
+        self._site_c[ids] = dests_c
+
+    # -- batch validation ------------------------------------------------
+
+    def post_move_conflict(self, origins_r, origins_c, dests_r, dests_c, separation):
+        """First separation conflict in the post-move state, or None.
+
+        Builds the post-move occupancy (origins cleared, destinations
+        set) and checks every mover's Chebyshev-(separation-1) window
+        with per-offset gathers: ``(2s-1)^2 - 1`` vectorized reads of
+        the mover count, instead of re-validating every live cage.
+        Only pairs involving a mover can newly violate the rule, so the
+        dirty-region check is exhaustive.
+
+        Returns ``(mover_index, (row, col), other_id)`` for the first
+        offending mover, where ``other_id`` is the conflicting cage's id
+        in the post state (movers report their post-move id).
+        """
+        radius = separation - 1
+        rows, cols = self.occupancy.shape
+        # Post-move occupancy on a radius-padded canvas: window gathers
+        # then need no per-offset bounds clipping.  The canvas buffer is
+        # reused across calls (refilled, not reallocated) and gathers go
+        # through flat indices -- one index array per offset instead of
+        # a (row, col) pair.
+        width = cols + 2 * radius
+        occ = self._conflict_canvas
+        if occ is None or occ.shape != ((rows + 2 * radius) * width,):
+            occ = self._conflict_canvas = np.zeros(
+                (rows + 2 * radius) * width, dtype=bool
+            )
+        canvas = occ.reshape(rows + 2 * radius, width)
+        canvas[radius : radius + rows, radius : radius + cols] = self.occupancy
+        flat_orig = (origins_r + radius) * width + (origins_c + radius)
+        flat_dest = (dests_r + radius) * width + (dests_c + radius)
+        occ[flat_orig] = False
+        occ[flat_dest] = True
+        try:
+            return self._scan_conflicts(
+                occ, flat_dest, dests_r, dests_c, origins_r, origins_c,
+                separation, width,
+            )
+        finally:
+            # restore the shared canvas to all-False for the next call
+            # (every write above lands inside the interior window)
+            canvas[radius : radius + rows, radius : radius + cols] = False
+
+    def _scan_conflicts(
+        self, occ, flat_dest, dests_r, dests_c, origins_r, origins_c,
+        separation, width,
+    ):
+        # Mover-major selection: when several movers violate at once,
+        # report the earliest mover in batch order and its first
+        # offending offset -- the same pair the scalar small-batch path
+        # names, so a step's error message does not depend on which side
+        # of the batch-size threshold it lands.
+        best = None  # (mover_index, dr, dc)
+        for dr, dc in separation_offsets(separation):
+            hit = occ[flat_dest + (dr * width + dc)]
+            if hit.any():
+                index = int(np.argmax(hit))
+                if best is None or index < best[0]:
+                    best = (index, dr, dc)
+        if best is None:
+            return None
+        index, dr, dc = best
+        site = (int(dests_r[index]) + dr, int(dests_c[index]) + dc)
+        # Rebuild the post-state id at the offending site only on this
+        # failure path.
+        ids = self.cage_ids.copy()
+        ids[origins_r, origins_c] = NO_CAGE
+        ids[dests_r, dests_c] = self.cage_ids[origins_r, origins_c]
+        return (
+            index,
+            (int(dests_r[index]), int(dests_c[index])),
+            int(ids[site[0], site[1]]),
+        )

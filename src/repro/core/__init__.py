@@ -3,7 +3,6 @@
 from .backend import Backend, DryRunBackend, SimulatorBackend
 from .compiler import CompiledProgram, compile_protocol
 from .errors import BiochipError, CompileError, ExecutionError, ProtocolError
-from .executor import Executor
 from .platform import Biochip, SenseResult
 from .protocol import (
     COMMAND_TYPES,

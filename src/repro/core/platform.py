@@ -148,6 +148,16 @@ class Biochip:
         """Whether the configured cage speed is physically holdable."""
         return self.dep_cage(particle).max_drag_speed() >= self.cage_speed
 
+    def _particle_key(self, particle):
+        """Cache key for per-particle-type quantities (see below)."""
+        return (
+            particle.name,
+            round(particle.radius, 9),
+            getattr(particle, "density", 1070.0),
+            self.drive_voltage,
+            self.drive_frequency,
+        )
+
     def _levitation_height(self, particle):
         """Levitation height with a per-particle-type cache.
 
@@ -156,19 +166,81 @@ class Biochip:
         (name, radius, density) -- invalidated implicitly by keying on
         the drive settings too.
         """
-        key = (
-            particle.name,
-            round(particle.radius, 9),
-            getattr(particle, "density", 1070.0),
-            self.drive_voltage,
-            self.drive_frequency,
-        )
+        key = self._particle_key(particle)
         cache = getattr(self, "_levitation_cache", None)
         if cache is None:
             cache = self._levitation_cache = {}
         if key not in cache:
             cache[key] = self.dep_cage(particle).levitation_height()
         return cache[key]
+
+    def _particle_signal(self, particle):
+        """Noise-free signal voltage of one caged particle [V], cached.
+
+        The transducer contrast at the particle's levitation height is a
+        pure function of the particle type and the drive settings, so it
+        shares the levitation cache's key -- array-wide scans over tens
+        of thousands of cages then cost one dict hit per cage instead of
+        one Clausius-Mossotti evaluation each.
+        """
+        key = self._particle_key(particle)
+        cache = getattr(self, "_signal_cache", None)
+        if cache is None:
+            cache = self._signal_cache = {}
+        if key not in cache:
+            height = self._levitation_height(particle)
+            cache[key] = self.readout.signal_voltage(particle, height)
+        return cache[key]
+
+    def _cage_signal(self, cage):
+        """(combined signal voltage [V], ground-truth occupancy) of a cage.
+
+        A merged cage carries a *list* payload; every particle in the
+        cage sits over the same pixel, so the sensed contrast is the sum
+        of the individual contrasts (dilute mixing is additive in volume
+        fraction).  Empty cages (or empty lists) contribute zero signal.
+        """
+        payload = cage.payload
+        if payload is None:
+            return 0.0, False
+        if not isinstance(payload, list):
+            # Fast path for the common single-particle cage: memoize by
+            # payload identity (payload objects are replaced, not
+            # mutated, and the entry pins the object so its id cannot be
+            # recycled).  Keyed on the drive settings too, like the
+            # per-type signal cache it sits in front of.  Bounded: on
+            # overflow the whole cache is dropped (entries are cheap to
+            # recompute through the per-type cache), so long-lived
+            # service chips cannot accumulate pinned payloads forever.
+            key = (id(payload), self.drive_voltage, self.drive_frequency)
+            cache = getattr(self, "_payload_signal_cache", None)
+            if cache is None:
+                cache = self._payload_signal_cache = {}
+            elif len(cache) > 65536:
+                cache.clear()
+            hit = cache.get(key)
+            if hit is None:
+                particle = (
+                    payload.particle if hasattr(payload, "particle") else payload
+                )
+                hit = cache[key] = (payload, self._particle_signal(particle))
+            return hit[1], True
+        signal = 0.0
+        expected = False
+        for entry in payload:
+            if entry is None:
+                continue
+            particle = entry.particle if hasattr(entry, "particle") else entry
+            signal += self._particle_signal(particle)
+            expected = True
+        return signal, expected
+
+    def _detection_threshold(self, n_samples) -> float:
+        """Detection threshold: 5x the post-averaging noise floor [V]."""
+        return 5.0 * max(
+            self.readout.noise_after_averaging(n_samples),
+            self.readout.adc.quantisation_noise_rms() / math.sqrt(n_samples),
+        )
 
     # -- operations ---------------------------------------------------------
 
@@ -228,8 +300,11 @@ class Biochip:
         Returns the path.  Raises ExecutionError when no route exists.
         """
         cage = self.cages.cage(cage_id)
-        others = {site for site in self.cages.sites() if site != cage.site}
-        obstacles = ObstacleMap(self.grid, others, separation=self.min_separation)
+        obstacles = ObstacleMap.from_mask(
+            self.grid,
+            self.cages.state.obstacle_mask(exclude_site=cage.site),
+            separation=self.min_separation,
+        )
         try:
             path = astar_route(self.grid, cage.site, tuple(goal), obstacles)
         except RoutingError as exc:
@@ -367,32 +442,22 @@ class Biochip:
     def _sense_reading(self, cage, n_samples, duration):
         """One cage's reading through the full physical chain.
 
-        The reading uses the transducer contrast for the actual caged
-        particle, at its levitation height, through amplifier noise and
-        ADC quantisation; detection thresholds at 5x the post-averaging
-        noise.  Time accounting is the caller's job (per-cage reads and
-        array-wide scans amortise it differently).
+        The reading uses the combined transducer contrast of *all*
+        particles in the cage (a merged cage holds several over one
+        pixel), each at its levitation height, through amplifier noise
+        and ADC quantisation; detection thresholds at 5x the
+        post-averaging noise.  Time accounting is the caller's job
+        (per-cage reads and array-wide scans amortise it differently).
         """
-        particle = cage.payload
-        if isinstance(particle, list):
-            particle = particle[0] if particle else None
-        if particle is not None and hasattr(particle, "particle"):
-            particle = particle.particle  # unwrap DrawnParticle
-        height = None
-        if particle is not None:
-            height = self._levitation_height(particle)
-        reading = self.readout.averaged_reading(particle, height, n_samples)
-        noise_after = self.readout.noise_after_averaging(n_samples)
-        threshold = 5.0 * max(
-            noise_after,
-            self.readout.adc.quantisation_noise_rms() / math.sqrt(n_samples),
-        )
+        signal, expected = self._cage_signal(cage)
+        reading = self.readout.averaged_reading_from_signal(signal, n_samples)
+        threshold = self._detection_threshold(n_samples)
         return SenseResult(
             cage_id=cage.cage_id,
             reading=reading,
             n_samples=n_samples,
             detected=abs(reading) > threshold,
-            expected=particle is not None,
+            expected=expected,
             duration=duration,
         )
 
@@ -418,16 +483,39 @@ class Biochip:
         id order.
         """
         duration = n_samples * self.addresser.frame_scan_time()
+        cages = self.cages.cages
+        signals = []
+        expected = []
+        for cage in cages:
+            signal, present = self._cage_signal(cage)
+            signals.append(signal)
+            expected.append(present)
+        # One vectorized pass through the readout chain for the whole
+        # population: noise drawn per cage block, quantised and averaged
+        # as matrices (RNG stream documented on batch_readings; per-cage
+        # results are identical in distribution to per-cage senses).
+        readings = self.readout.batch_readings(np.asarray(signals), n_samples)
+        detected = np.abs(readings) > self._detection_threshold(n_samples)
+        n_detected = int(np.count_nonzero(detected))
         outcomes = [
-            (cage.cage_id, self._sense_reading(cage, n_samples, duration))
-            for cage in self.cages.cages
+            (
+                cage.cage_id,
+                SenseResult(
+                    cage_id=cage.cage_id,
+                    reading=reading,
+                    n_samples=n_samples,
+                    detected=hit,
+                    expected=present,
+                    duration=duration,
+                ),
+            )
+            for cage, reading, hit, present in zip(
+                cages, readings.tolist(), detected.tolist(), expected
+            )
         ]
         self._log(
             "sense_all",
-            {
-                "cages": len(outcomes),
-                "detections": sum(1 for __, r in outcomes if r.detected),
-            },
+            {"cages": len(outcomes), "detections": n_detected},
             duration,
         )
         return outcomes

@@ -152,8 +152,7 @@ class Session:
 
         Every call gets a fresh handle namespace: handle bindings never
         leak between runs.  ``handles`` optionally supplies the dict to
-        hold this run's bindings (the legacy executor shim uses it to
-        expose them).
+        hold this run's bindings, exposing them to the caller.
         """
         if isinstance(protocol_or_program, CompiledProgram):
             program = protocol_or_program

@@ -13,7 +13,10 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..array.grid import ElectrodeGrid
+from ..array.state import inflate_mask
 
 #: The eight king-move directions plus wait, in deterministic order.
 MOVES_8 = (
@@ -48,19 +51,51 @@ class ObstacleMap:
     separation: int = 2
 
     def __post_init__(self):
-        self.blocked = set(map(tuple, self.blocked))
-        self._inflated = set()
-        radius = self.separation - 1
-        for row, col in self.blocked:
-            for dr in range(-radius, radius + 1):
-                for dc in range(-radius, radius + 1):
-                    site = (row + dr, col + dc)
-                    if self.grid.in_bounds(*site):
-                        self._inflated.add(site)
+        if isinstance(self.blocked, np.ndarray):
+            mask = self.blocked.astype(bool)
+            # the Python site set is derived on demand (blocked_sites);
+            # eager conversion would cost O(population) per route call
+            self.blocked = None
+        else:
+            mask = np.zeros((self.grid.rows, self.grid.cols), dtype=bool)
+            self.blocked = set(map(tuple, self.blocked))
+            for row, col in self.blocked:
+                mask[row, col] = True
+        self._mask = mask
+        # Chebyshev dilation by (separation - 1) as shifted ORs -- a few
+        # whole-array ops instead of a Python loop over every blocked
+        # site times its (2s-1)^2 neighbourhood.
+        self._inflated = inflate_mask(mask, self.separation - 1)
+        # A* probes is_free thousands of times per route; a flat Python
+        # list answers each probe several times faster than a numpy
+        # scalar read.
+        self._inflated_flat = self._inflated.ravel().tolist()
+        self._cols = self.grid.cols
+
+    @classmethod
+    def from_mask(cls, grid, mask, separation=2) -> "ObstacleMap":
+        """Build directly from a boolean occupancy grid.
+
+        This is the :class:`~repro.array.state.ArrayState` fast path:
+        the platform hands over ``state.obstacle_mask(...)`` without
+        materialising a per-call Python site set.
+        """
+        return cls(grid, np.asarray(mask, dtype=bool), separation)
+
+    def blocked_sites(self):
+        """Set of blocked cage-centre sites (materialised on demand)."""
+        if self.blocked is None:
+            rows, cols = np.nonzero(self._mask)
+            self.blocked = set(zip(rows.tolist(), cols.tolist()))
+        return self.blocked
 
     def is_free(self, site) -> bool:
         """Whether a cage centre may occupy ``site``."""
-        return self.grid.in_bounds(*site) and tuple(site) not in self._inflated
+        row, col = site
+        return (
+            self.grid.in_bounds(row, col)
+            and not self._inflated_flat[row * self._cols + col]
+        )
 
     def free_neighbors(self, site):
         """Free king-move successors of ``site`` (excludes waiting)."""

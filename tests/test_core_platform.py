@@ -1,8 +1,8 @@
-"""Unit tests for the Biochip platform façade and executor."""
+"""Unit tests for the Biochip platform façade and protocol execution."""
 
 import pytest
 
-from repro import Biochip, ExecutionError, Executor, Protocol
+from repro import Biochip, ExecutionError, Protocol, Session
 from repro.bio import Sample, cells_per_ml, mammalian_cell, polystyrene_bead
 from repro.physics.constants import ul, um
 
@@ -67,6 +67,29 @@ class TestBiochipOperations:
         merged = chip.merge(a.cage_id, b.cage_id)
         assert merged.payload == ["A", "B"]
         assert chip.cage_count == 1
+
+    def test_merged_cage_senses_combined_contrast(self):
+        # regression: a merged (list-payload) cage used to sense only
+        # payload[0] -- the sensed signal must be the summed contrast
+        # of every particle in the cage
+        chip = Biochip.small_chip(seed=2)
+        a = chip.trap((5, 5), mammalian_cell())
+        b = chip.trap((5, 9), polystyrene_bead())
+        single_cell, __ = chip._cage_signal(a)
+        single_bead, __ = chip._cage_signal(b)
+        merged = chip.merge(a.cage_id, b.cage_id)
+        combined, expected = chip._cage_signal(merged)
+        assert expected
+        assert combined == pytest.approx(single_cell + single_bead)
+        result = chip.sense(merged.cage_id, n_samples=2000)
+        assert result.expected and result.detected
+
+    def test_empty_and_empty_list_payloads_sense_nothing(self):
+        chip = Biochip.small_chip()
+        empty = chip.trap((20, 20))
+        assert chip._cage_signal(empty) == (0.0, False)
+        empty.payload = []  # a merged cage whose contents were consumed
+        assert chip._cage_signal(empty) == (0.0, False)
 
     def test_sense_detects_cell(self):
         chip = Biochip.small_chip()
@@ -143,7 +166,7 @@ class TestLoadSample:
         assert chip.cage_count == 8  # nothing partially loaded
 
 
-class TestExecutor:
+class TestProtocolExecution:
     def test_full_protocol_run(self):
         chip = Biochip.small_chip()
         protocol = (
@@ -154,7 +177,7 @@ class TestExecutor:
             .incubate("cell", 10.0)
             .release("cell")
         )
-        result = Executor(chip).run(protocol)
+        result = Session.simulator(chip).run(protocol)
         assert result.count() == 5
         assert result.detections("cell") == [True]
         assert result.wall_time > 0.0
@@ -170,14 +193,14 @@ class TestExecutor:
             .sense("cell")
             .release("cell")
         )
-        result = Executor(chip).run(protocol)
+        result = Session.simulator(chip).run(protocol)
         assert result.count("merge") == 1
         assert chip.cage_count == 0
 
     def test_result_summary_text(self):
         chip = Biochip.small_chip()
         protocol = Protocol("t").trap("a", (5, 5)).release("a")
-        result = Executor(chip).run(protocol)
+        result = Session.simulator(chip).run(protocol)
         assert "protocol 't'" in result.summary()
 
     def test_detection_accuracy_perfect_on_easy_case(self):
@@ -191,7 +214,7 @@ class TestExecutor:
             .release("full")
             .release("empty")
         )
-        result = Executor(chip).run(protocol)
+        result = Session.simulator(chip).run(protocol)
         assert result.detection_accuracy() == 1.0
 
     def test_predicted_vs_wall_time_same_order(self):
@@ -202,5 +225,5 @@ class TestExecutor:
             .move("a", (20, 20))
             .release("a")
         )
-        result = Executor(chip).run(protocol)
+        result = Session.simulator(chip).run(protocol)
         assert 0.2 < result.wall_time / result.predicted_makespan < 5.0

@@ -6,7 +6,6 @@ from repro import (
     Biochip,
     DryRunBackend,
     ExecutionError,
-    Executor,
     Protocol,
     Session,
     SimulatorBackend,
@@ -23,7 +22,7 @@ def line_protocol(name="line", release=True):
 
 
 class TestSessionRun:
-    def test_run_matches_legacy_executor(self):
+    def test_run_deterministic_across_fresh_chips(self):
         protocol = (
             Protocol("parity")
             .trap("cell", (5, 5), mammalian_cell())
@@ -31,11 +30,11 @@ class TestSessionRun:
             .sense("cell", samples=2000)
             .release("cell")
         )
-        legacy = Executor(Biochip.small_chip()).run(protocol)
-        v2 = Session.simulator(Biochip.small_chip()).run(protocol)
-        assert v2.count() == legacy.count() == 4
-        assert v2.detections("cell") == legacy.detections("cell") == [True]
-        assert v2.wall_time == pytest.approx(legacy.wall_time)
+        first = Session.simulator(Biochip.small_chip()).run(protocol)
+        second = Session.simulator(Biochip.small_chip()).run(protocol)
+        assert second.count() == first.count() == 4
+        assert second.detections("cell") == first.detections("cell") == [True]
+        assert second.wall_time == pytest.approx(first.wall_time)
 
     def test_fresh_handles_per_run(self):
         session = Session.simulator()
@@ -178,13 +177,16 @@ class TestRunMany:
             session.run_many([], on_error="ignore")
 
 
-class TestExecutorShim:
-    def test_handle_state_reset_between_runs(self):
-        executor = Executor(Biochip.small_chip())
-        executor.run(Protocol("one").trap("a", (5, 5)))  # no release
-        executor.run(Protocol("two").trap("b", (20, 20)))
-        assert "a" not in executor._cage_ids  # stale handle purged
-        assert "b" in executor._cage_ids
+class TestHandleExposure:
+    def test_caller_supplied_handle_dict_sees_live_bindings(self):
+        session = Session.simulator()
+        handles = {}
+        session.run(Protocol("one").trap("a", (5, 5)), handles=handles)
+        assert "a" in handles  # unreleased binding exposed to the caller
+        fresh = {}
+        session.run(Protocol("two").trap("b", (20, 20)), handles=fresh)
+        assert "a" not in fresh  # each run's namespace is its own dict
+        assert "b" in fresh
 
 
 class TestMoveManyExecution:

@@ -8,7 +8,7 @@ paper's claims at the *system* level rather than per-module.
 import numpy as np
 import pytest
 
-from repro import Biochip, Executor, Protocol
+from repro import Biochip, Protocol, Session
 from repro.array import CageManager
 from repro.array.addressing import RowColumnAddresser, TimingBudget
 from repro.bio import Sample, cells_per_ml, mammalian_cell, polystyrene_bead
@@ -95,7 +95,7 @@ class TestAssayEndToEnd:
             .release("cell")
         )
         program = compile_protocol(protocol, chip.grid)
-        result = Executor(chip).run(program)
+        result = Session.simulator(chip).run(program)
         assert result.detection_accuracy() == 1.0
         assert result.count() == len(protocol)
 
@@ -178,7 +178,7 @@ class TestDeterminism:
                 .sense("a", samples=500)
                 .release("a")
             )
-            return Executor(chip).run(protocol).readings("a")
+            return Session.simulator(chip).run(protocol).readings("a")
 
         assert run(9) == run(9)
         assert run(9) != run(10)

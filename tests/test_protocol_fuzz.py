@@ -1,4 +1,4 @@
-"""Property-based fuzzing of the protocol -> compiler -> executor stack.
+"""Property-based fuzzing of the protocol -> compiler -> session stack.
 
 Hypothesis generates random *valid* protocols (random traps on a legal
 lattice, random moves/senses/incubations/merges/releases respecting
@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Biochip, Executor, Protocol
+from repro import Biochip, Protocol, Session
 from repro.bio import polystyrene_bead
 from repro.core.compiler import compile_protocol
 from repro.physics.constants import um
@@ -79,10 +79,10 @@ class TestProtocolFuzz:
         """Execution completes; every event executed once; all cages
         released at the end (the generator releases survivors); the
         separation invariant held throughout (CageManager enforces it,
-        executor routing never violates it)."""
+        session routing never violates it)."""
         chip = Biochip.small_chip(rows=32, cols=32, seed=seed)
         try:
-            result = Executor(chip).run(protocol)
+            result = Session.simulator(chip).run(protocol)
         except Exception as exc:  # noqa: BLE001 - report generated case
             # moves may legitimately fail only if two handles target
             # overlapping goals; the compiler cannot see that, the
