@@ -12,6 +12,23 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--faults",
+        action="store_true",
+        default=False,
+        help="run the degraded-mode (fault-injection) benchmarks too",
+    )
+
+
+@pytest.fixture
+def faults_enabled(request):
+    """Gate for degraded-mode benchmarks: opt in with ``--faults``."""
+    if not request.config.getoption("--faults"):
+        pytest.skip("degraded-mode benchmark: enable with --faults")
+    return True
+
+
 def report(text):
     """Print a reproduction table with a blank line so pytest -s output
     stays readable; also always echo through capture via sys.stdout."""

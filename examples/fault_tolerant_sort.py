@@ -1,0 +1,163 @@
+"""Viability sorting on a fleet that is actively failing.
+
+The same live/dead sort as ``viability_sort.py`` -- trap a mixed cell
+population, scan the array, route live cells left and dead cells right
+-- but served through the fault-tolerant execution tier instead of a
+single pristine chip.  The fleet here is deliberately broken: every
+chip carries a seeded defect map (dead electrodes, 2%/op transient
+glitches) and one chip is a lemon that faults every operation.
+
+The walkthrough shows the self-healing loop end to end:
+
+1. a batch of sort jobs is submitted to the 4-chip fleet;
+2. transient faults burn an attempt, back off, and retry -- preferring
+   chips the job has not failed on yet (migration);
+3. the lemon chip's failure streak benches it (quarantine) and its
+   jobs move to healthy hardware;
+4. every completed job is checked against a fault-free reference run:
+   same traps, same readings, same detections, every cell on its goal
+   site -- faults cost retries and detours, never correctness.
+
+Run with:  python examples/fault_tolerant_sort.py
+"""
+
+import numpy as np
+
+from repro import Biochip, ExecutionService, Protocol, ServiceConfig, Session
+from repro.bio import mammalian_cell
+from repro.faults import FaultModel, FleetFaultPlan
+from repro.physics.dielectrics import water_medium
+from repro.sensing import SpectrumClassifier
+from repro.service import ChipHealth, JobState
+
+N_CHIPS = 4
+N_JOBS = 8
+
+
+def build_sort_protocol(seed=2):
+    """The viability-sort protocol from ``viability_sort.py``: trap a
+    mixed population on a lattice, scan the whole array, then route
+    live cells to the left bank and dead cells to the right bank in one
+    frame-parallel group move."""
+    medium = water_medium(0.02)
+    live, dead = mammalian_cell(viable=True), mammalian_cell(viable=False)
+    rng = np.random.default_rng(seed)
+
+    population = []
+    for row in range(4, 28, 4):
+        for col in range(10, 24, 4):
+            particle = live if rng.random() < 0.6 else dead
+            population.append((f"cell{len(population)}", particle, (row, col)))
+
+    classifier = SpectrumClassifier({"live": live, "dead": dead}, medium)
+    class_rng = np.random.default_rng(seed + 5)
+    decisions = {
+        handle: classifier.classify_particle(particle, sigma=0.05,
+                                             rng=class_rng) == "live"
+        for handle, particle, __ in population
+    }
+
+    protocol = Protocol(f"viability-sort-{seed}")
+    for handle, particle, site in population:
+        protocol.trap(handle, site, particle)
+    protocol.sense_all(samples=2000, store_as="scan")
+    # Two columns per bank: either class can dominate a seeded
+    # population, so each bank holds the full population if needed.
+    left_sites = iter([(r, c) for c in (2, 4) for r in range(0, 32, 2)])
+    right_sites = iter([(r, c) for c in (29, 27) for r in range(0, 32, 2)])
+    goals = {}
+    for handle, __, __ in population:
+        goals[handle] = (next(left_sites) if decisions[handle]
+                         else next(right_sites))
+    protocol.move_many(goals)
+    return protocol
+
+
+def canonical_events(run):
+    """Everything the assay observes, from the event stream.
+
+    Backend cage ids are dropped (a service chip's cage counter keeps
+    counting across the jobs it served), and group moves compare by
+    the cages that reached their goals rather than the elementary step
+    count -- on a defective chip the router legally detours around
+    dead electrodes, so the route differs while the outcome (every
+    cell on its goal site, every reading, every detection) must not.
+    """
+    events = []
+    for e in run.events:
+        detail = {k: v for k, v in e.detail.items() if k != "cage"}
+        if e.kind == "move_many":
+            detail = {"cages": detail.get("cages")}
+        events.append((e.kind, detail))
+    return events
+
+
+def main():
+    chip = Biochip.small_chip(rows=32, cols=32, seed=1)
+    shape = (chip.grid.rows, chip.grid.cols)
+
+    # A deliberately unhealthy fleet: every chip gets a seeded random
+    # defect map, and chip 0 is a lemon that faults every operation.
+    # (A sort job is ~50 chip ops, so even these modest per-op rates
+    # fail a third of the attempts -- the retry tier earns its keep.)
+    plan = FleetFaultPlan(
+        dead_pixel_fraction=0.01,
+        transient_rate=0.005,
+        seed=0,
+        models={0: FaultModel(shape=shape, transient_rate=1.0)},
+    )
+    service = ExecutionService.simulator(
+        ServiceConfig(
+            n_chips=N_CHIPS,
+            policy="least-loaded",
+            max_retries=3,
+            retry_backoff=0.5,
+            quarantine_after=2,
+            restart_cooldown=None,  # the lemon stays benched
+        ),
+        chip=chip,
+        faults=plan,
+    )
+
+    protocols = [build_sort_protocol(seed=s) for s in range(N_JOBS)]
+    print(f"submitting {N_JOBS} sort jobs to a {N_CHIPS}-chip fleet "
+          f"(chip 0 faults every op; 1% dead pixels fleet-wide)")
+    handles = service.submit_many(protocols)
+    service.drain()
+
+    # 1. every job is terminal -- the drain loop never hangs.
+    done = [h for h in handles if h.poll() is JobState.DONE]
+    failed = [h for h in handles if h.poll() is JobState.FAILED]
+    print(f"terminal states: {len(done)} completed, {len(failed)} failed")
+
+    # 2. completed results match a fault-free reference in everything
+    # the assay observes -- faults cost retries and detours, never a
+    # wrong reading or a cell on the wrong site.
+    verified = 0
+    for protocol, handle in zip(protocols, handles):
+        if handle.poll() is not JobState.DONE:
+            continue
+        pristine = Biochip.small_chip(rows=32, cols=32, seed=1)
+        reference = Session.simulator(pristine).run(protocol)
+        assert canonical_events(handle.result().run) == \
+            canonical_events(reference), "fault caused silent corruption!"
+        verified += 1
+    print(f"observably identical to fault-free reference: "
+          f"{verified}/{len(done)}")
+
+    # 3. the self-healing story in numbers.
+    counters = service.snapshot()["counters"]
+    print(f"retries {counters['retried']}, migrations "
+          f"{counters['migrated']}, quarantines {counters['quarantined']}")
+    lemon = service.fleet.worker(0)
+    print(f"chip 0 health: {lemon.health.value} "
+          f"(streak benched it after {service.config.quarantine_after} "
+          f"consecutive failures)")
+    assert lemon.health is ChipHealth.QUARANTINED
+    chip_ids = sorted({h.result().chip_id for h in done})
+    print(f"completed jobs ran on chips {chip_ids} -- never the lemon")
+    print(f"fault injections: {service.snapshot()['faults']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ from .core import (
     Backend,
     Biochip,
     BiochipError,
+    ChipFault,
     CommandRegistry,
     CommandSpec,
     CompileError,
@@ -47,7 +48,14 @@ from .core import (
     compile_protocol,
     default_registry,
 )
-from .service import ExecutionService, JobState, ServiceConfig
+from .faults import FaultInjector, FaultModel, FleetFaultPlan
+from .service import (
+    ErrorKind,
+    ExecutionService,
+    JobError,
+    JobState,
+    ServiceConfig,
+)
 
 __version__ = "2.0.0"
 
@@ -55,13 +63,19 @@ __all__ = [
     "Backend",
     "Biochip",
     "BiochipError",
+    "ChipFault",
     "CommandRegistry",
     "CommandSpec",
     "CompileError",
     "CompiledProgram",
     "DryRunBackend",
+    "ErrorKind",
     "ExecutionError",
     "ExecutionService",
+    "FaultInjector",
+    "FaultModel",
+    "FleetFaultPlan",
+    "JobError",
     "JobState",
     "Protocol",
     "ProtocolError",

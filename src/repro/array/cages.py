@@ -38,6 +38,10 @@ class CageError(Exception):
     """Violation of cage placement or motion rules."""
 
 
+class DeadElectrodeError(CageError):
+    """A cage centre was requested on a dead (fault-model) electrode."""
+
+
 class Cage:
     """One DEP cage: an identity plus a grid site and optional payload.
 
@@ -162,11 +166,20 @@ class CageManager:
 
     # -- mutations -------------------------------------------------------
 
+    def set_dead_mask(self, mask):
+        """Install the fault model's dead-electrode mask (see
+        :meth:`~repro.array.state.ArrayState.set_dead_mask`)."""
+        self._state.set_dead_mask(mask)
+
     def create(self, site, payload=None) -> Cage:
         """Create a cage at ``site``; raises on bounds/spacing violation."""
         site = tuple(site)
         if not self.grid.in_bounds(*site):
             raise CageError(f"cage site {site} out of bounds")
+        if self._state.has_dead and self._state.dead[site]:
+            raise DeadElectrodeError(
+                f"cage site {site} is a dead electrode"
+            )
         if self._state.window_occupied(site, self.min_separation - 1):
             raise CageError(f"cage at {site} violates min separation {self.min_separation}")
         cage = Cage(self._next_id, site, payload, state=self._state)
@@ -249,6 +262,15 @@ class CageManager:
                 raise CageError(f"no cage with id {cage_id}")
             dest = (int(dest_r[index]), int(dest_c[index]))
             raise CageError(f"cage {cage_id}: destination {dest} out of bounds")
+        if state.has_dead:
+            on_dead = state.dead[dest_r, dest_c]
+            if on_dead.any():
+                index = int(np.argmax(on_dead))
+                dest = (int(dest_r[index]), int(dest_c[index]))
+                raise DeadElectrodeError(
+                    f"cage {int(ids[index])}: destination {dest} is a "
+                    f"dead electrode"
+                )
 
         # Collisions (a): two movers claiming the same destination.
         dest_keys = dest_r * self.grid.cols + dest_c
@@ -337,6 +359,10 @@ class CageManager:
             dest = (orig_row + drow, orig_col + dcol)
             if not (0 <= dest[0] < rows and 0 <= dest[1] < cols):
                 raise CageError(f"cage {cage_id}: destination {dest} out of bounds")
+            if state.has_dead and state.dead[dest]:
+                raise DeadElectrodeError(
+                    f"cage {cage_id}: destination {dest} is a dead electrode"
+                )
             origins[cage_id] = (orig_row, orig_col)
             dests[cage_id] = dest
         claimed = {}

@@ -132,8 +132,30 @@ class ArrayState:
         # zero-maintenance view instead of a per-step Python update.
         self._site_r = np.full(256, -1, dtype=np.int32)
         self._site_c = np.full(256, -1, dtype=np.int32)
+        # dead-electrode mask (fault model): no cage centre may sit on
+        # a dead pixel.  has_dead is the fast-path guard so fault-free
+        # chips pay nothing per step.
+        self.dead = np.zeros((grid.rows, grid.cols), dtype=bool)
+        self.has_dead = False
         # scratch buffer for post_move_conflict, reused across frames
         self._conflict_canvas = None
+
+    def set_dead_mask(self, mask):
+        """Install a dead-electrode mask (bool, grid-shaped).
+
+        Sites already occupied by cages are allowed to stay (a fault
+        flipping under a live cage loses the particle physically, not
+        logically); the mask only constrains *new* placements and move
+        destinations.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.occupancy.shape:
+            raise ValueError(
+                f"dead mask shape {mask.shape} does not match grid "
+                f"{self.occupancy.shape}"
+            )
+        self.dead = mask.copy()
+        self.has_dead = bool(mask.any())
 
     def _ensure_capacity(self, cage_id):
         size = self._site_r.size

@@ -2,7 +2,14 @@
 
 from .backend import Backend, DryRunBackend, SimulatorBackend
 from .compiler import CompiledProgram, compile_protocol
-from .errors import BiochipError, CompileError, ExecutionError, ProtocolError
+from .errors import (
+    BiochipError,
+    ChipFault,
+    CompileError,
+    ExecutionError,
+    ProtocolError,
+    ServiceError,
+)
 from .platform import Biochip, SenseResult
 from .protocol import (
     COMMAND_TYPES,

@@ -19,6 +19,22 @@ class ExecutionError(BiochipError):
     """Runtime failure while executing a compiled program on the chip."""
 
 
+class ChipFault(ExecutionError):
+    """A chip-attributable hardware fault: a transient glitch, a wedged
+    controller, or a chip-local defect (dead electrode, broken sensor)
+    under a requested operation.
+
+    Distinct from the rest of the hierarchy in that the *protocol* is
+    fine -- the same job may well succeed on a retry or on a different
+    chip -- so the fleet execution service treats ``ChipFault`` as
+    retryable and counts it against the chip's health, not the job's.
+    """
+
+    #: Marker the service's error classifier dispatches on; third-party
+    #: backends may set it on their own exception types.
+    transient = True
+
+
 class ServiceError(BiochipError):
     """Fleet execution service failure: admission rejection, shed or
     expired jobs, or asking for the result of a job that never ran."""

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..array.addressing import RowColumnAddresser
-from ..array.cages import CageError, CageManager
+from ..array.cages import CageError, CageManager, DeadElectrodeError
 from ..array.grid import ElectrodeGrid, paper_grid
 from ..bio.populations import DrawnParticle
 from ..fluidics.chamber import Microchamber, chamber_for_grid
@@ -26,9 +26,10 @@ from ..physics.dielectrics import water_medium
 from ..routing.astar import ObstacleMap, RoutingError, astar_route, path_moves
 from ..routing.multi import BatchRouter, RoutingRequest
 from ..sensing.capacitive import CapacitiveSensor
+from ..sensing.quarantine import ReadingBounds, SensorQuarantine
 from ..sensing.readout import CapacitiveReadoutChain
 from ..technology.nodes import PAPER_NODE, TechnologyNode
-from .errors import ExecutionError
+from .errors import ChipFault, ExecutionError
 
 
 @dataclass
@@ -41,6 +42,7 @@ class SenseResult:
     detected: bool
     expected: bool  # ground truth: was a particle actually caged?
     duration: float  # sensing time spent [s]
+    rescanned: bool = False  # read from a neighbour pixel (quarantined sensor)
 
 
 @dataclass
@@ -101,6 +103,8 @@ class Biochip:
         self.readout = CapacitiveReadoutChain(sensor=sensor, rng=self.rng)
         self.elapsed = 0.0
         self._history = []
+        self.faults = None  # FaultModel installed by apply_faults
+        self._sensor_quarantine = None
 
     # -- construction helpers ---------------------------------------------
 
@@ -129,6 +133,46 @@ class Biochip:
     @property
     def cage_count(self) -> int:
         return len(self.cages)
+
+    # -- fault model -------------------------------------------------------
+
+    def apply_faults(self, model):
+        """Install a :class:`~repro.faults.model.FaultModel` on this chip.
+
+        Dead electrodes propagate to the cage manager (placements and
+        steps onto them are rejected) and to both routers (paths go
+        around them); sensor faults corrupt readings at the flagged
+        pixels, which the calibration-bounds quarantine then catches
+        (:meth:`sense` re-scans from a healthy neighbour).  Passing
+        None clears the model.
+        """
+        if model is None:
+            self.faults = None
+            self._sensor_quarantine = None
+            self.cages.set_dead_mask(
+                np.zeros((self.grid.rows, self.grid.cols), dtype=bool)
+            )
+            return
+        if tuple(model.shape) != (self.grid.rows, self.grid.cols):
+            raise ValueError(
+                f"fault model shape {model.shape} does not match grid "
+                f"({self.grid.rows}, {self.grid.cols})"
+            )
+        self.faults = model
+        self.cages.set_dead_mask(model.dead_electrodes)
+        self._sensor_quarantine = SensorQuarantine(
+            ReadingBounds.for_readout(self.readout)
+        )
+
+    @property
+    def sensor_quarantine(self):
+        """The sensor blacklist, or None when no fault model is active."""
+        return self._sensor_quarantine
+
+    def _dead_mask(self):
+        """The dead-electrode mask for routing, or None when clean."""
+        state = self.cages.state
+        return state.dead if state.has_dead else None
 
     # -- physics views -----------------------------------------------------
 
@@ -252,6 +296,10 @@ class Biochip:
         """
         try:
             cage = self.cages.create(site, payload=particle)
+        except DeadElectrodeError as exc:
+            # A chip-local defect, not a protocol bug: the same trap may
+            # succeed on another die, so surface it as a retryable fault.
+            raise ChipFault(str(exc)) from exc
         except CageError as exc:
             raise ExecutionError(str(exc)) from exc
         self._log("trap", {"cage": cage.cage_id, "site": tuple(site)}, 5.0)
@@ -300,13 +348,20 @@ class Biochip:
         Returns the path.  Raises ExecutionError when no route exists.
         """
         cage = self.cages.cage(cage_id)
+        goal = tuple(goal)
+        dead = self._dead_mask()
+        if dead is not None and self.grid.in_bounds(*goal) and dead[goal]:
+            raise ChipFault(
+                f"cage {cage_id}: goal {goal} is a dead electrode"
+            )
         obstacles = ObstacleMap.from_mask(
             self.grid,
             self.cages.state.obstacle_mask(exclude_site=cage.site),
             separation=self.min_separation,
+            hard_mask=dead,
         )
         try:
-            path = astar_route(self.grid, cage.site, tuple(goal), obstacles)
+            path = astar_route(self.grid, cage.site, goal, obstacles)
         except RoutingError as exc:
             raise ExecutionError(str(exc)) from exc
         previous_frame = self.cages.frame()
@@ -345,12 +400,17 @@ class Biochip:
         ``dwell_time`` [s].  Raises ExecutionError when no conflict-free
         plan exists.
         """
+        dead = self._dead_mask()
         requests = []
         for cage_id, goal in goals.items():
             cage = self.cages.cage(cage_id)
             goal = tuple(goal)
             if not self.grid.in_bounds(*goal):
                 raise ExecutionError(f"cage {cage_id}: goal {goal} out of bounds")
+            if dead is not None and dead[goal]:
+                raise ChipFault(
+                    f"cage {cage_id}: goal {goal} is a dead electrode"
+                )
             requests.append(RoutingRequest(cage_id, cage.site, goal))
         # Stationary cages participate as zero-length requests so the
         # router treats them as parked obstacles for the whole horizon.
@@ -369,7 +429,9 @@ class Biochip:
             )
             return (request.cage_id in moving, -distance)
 
-        router = BatchRouter(self.grid, min_separation=self.min_separation)
+        router = BatchRouter(
+            self.grid, min_separation=self.min_separation, blocked=dead
+        )
         try:
             plan = router.plan(requests, priority=priority)
         except RoutingError as exc:
@@ -429,6 +491,9 @@ class Biochip:
             candidate = (row + dr, col + dc)
             if not self.grid.in_bounds(*candidate):
                 continue
+            state = self.cages.state
+            if state.has_dead and state.dead[candidate]:
+                continue
             conflicts = self.cages._conflicts(candidate, ignore_id=exclude)
             occupied_by = self.cages.cage_at(site)
             conflicts = [
@@ -451,6 +516,8 @@ class Biochip:
         """
         signal, expected = self._cage_signal(cage)
         reading = self.readout.averaged_reading_from_signal(signal, n_samples)
+        if self.faults is not None:
+            reading = self._corrupt_reading(cage.site, reading)
         threshold = self._detection_threshold(n_samples)
         return SenseResult(
             cage_id=cage.cage_id,
@@ -461,11 +528,103 @@ class Biochip:
             duration=duration,
         )
 
+    def _corrupt_reading(self, site, reading):
+        """The reading as the faulty pixel at ``site`` reports it.
+
+        A dead front-end sticks at the positive rail (full scale, which
+        the pedestal subtraction cannot hide); a drifted one adds the
+        model's gross offset.  Healthy pixels pass through.
+        """
+        fault = self.faults.sensor_fault(site)
+        if fault == "dead":
+            return self.readout.adc.full_scale - self.readout.pedestal
+        if fault == "noisy":
+            return reading + self.faults.noisy_offset
+        return reading
+
+    def _rescan_delta(self, cage):
+        """A one-step move to a pixel fit for re-reading ``cage``:
+        in bounds, electrode alive, sensor unflagged and fault-free,
+        separation-legal.  None when no such neighbour exists."""
+        row, col = cage.site
+        state = self.cages.state
+        for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0),
+                       (1, 1), (1, -1), (-1, 1), (-1, -1)):
+            cand = (row + dr, col + dc)
+            if not self.grid.in_bounds(*cand):
+                continue
+            if state.has_dead and state.dead[cand]:
+                continue
+            if self.faults is not None and self.faults.sensor_fault(cand):
+                continue
+            if self._sensor_quarantine.is_flagged(cand):
+                continue
+            if state.window_occupied(cand, self.min_separation - 1,
+                                     ignore_id=cage.cage_id):
+                continue
+            return (dr, dc)
+        return None
+
+    def _rescan(self, cage, n_samples):
+        """Re-read a cage from a healthy neighbouring pixel.
+
+        Steps the cage one electrode over, reads there, and steps it
+        back -- the flagged site's sensor never touches the result.
+        Returns ``(SenseResult, extra_time)`` where ``extra_time`` is
+        the full additional chip time (two one-step frame updates plus
+        the re-read).  Raises :class:`ChipFault` when the cage is boxed
+        in by dead/flagged pixels: with no trustworthy way to read it,
+        failing loudly beats returning garbage.
+        """
+        quarantine = self._sensor_quarantine
+        delta = self._rescan_delta(cage)
+        if delta is None:
+            quarantine.rescan_failures += 1
+            raise ChipFault(
+                f"sensor at {cage.site} out of calibration bounds and no "
+                f"healthy neighbour pixel to re-scan from"
+            )
+        quarantine.rescans += 1
+        cage_id = cage.cage_id
+        extra = 0.0
+        step_dwell = math.hypot(*delta) * self.grid.pitch / self.cage_speed
+        for move in (delta, (-delta[0], -delta[1])):
+            previous_frame = self.cages.frame()
+            if move is delta:
+                self.cages.step({cage_id: move})
+                extra += self.addresser.incremental_program_time(
+                    previous_frame, self.cages.frame()
+                ) + step_dwell
+                result = self._sense_reading(
+                    cage, n_samples,
+                    n_samples * self.readout.time_per_sample(self.addresser),
+                )
+                extra += result.duration
+            else:
+                self.cages.step({cage_id: move})
+                extra += self.addresser.incremental_program_time(
+                    previous_frame, self.cages.frame()
+                ) + step_dwell
+        result.rescanned = True
+        return result, extra
+
     def sense(self, cage_id, n_samples=1000) -> SenseResult:
-        """Read the sensor under one cage with N-sample averaging."""
+        """Read the sensor under one cage with N-sample averaging.
+
+        When a fault model is active, a reading outside the calibration
+        bounds quarantines the site and the cage is re-read from a
+        healthy neighbouring pixel (the extra motion and read time are
+        charged to this operation).
+        """
         cage = self.cages.cage(cage_id)
         duration = n_samples * self.readout.time_per_sample(self.addresser)
         result = self._sense_reading(cage, n_samples, duration)
+        quarantine = self._sensor_quarantine
+        if (quarantine is not None
+                and not quarantine.admit(cage.site, result.reading)):
+            result, extra = self._rescan(cage, n_samples)
+            duration += extra
+            result.duration = duration
         self._log(
             "sense",
             {"cage": cage_id, "reading": result.reading, "detected": result.detected},
@@ -495,28 +654,66 @@ class Biochip:
         # as matrices (RNG stream documented on batch_readings; per-cage
         # results are identical in distribution to per-cage senses).
         readings = self.readout.batch_readings(np.asarray(signals), n_samples)
-        detected = np.abs(readings) > self._detection_threshold(n_samples)
-        n_detected = int(np.count_nonzero(detected))
-        outcomes = [
-            (
-                cage.cage_id,
-                SenseResult(
-                    cage_id=cage.cage_id,
-                    reading=reading,
-                    n_samples=n_samples,
-                    detected=hit,
-                    expected=present,
-                    duration=duration,
-                ),
+        faults = self.faults
+        if faults is not None and faults.has_sensor_faults and cages:
+            # Vectorized corruption to match _corrupt_reading: gather
+            # each cage's pixel, overwrite stuck rails, add drift.
+            rows = np.fromiter(
+                (c.site[0] for c in cages), dtype=np.intp, count=len(cages)
             )
-            for cage, reading, hit, present in zip(
-                cages, readings.tolist(), detected.tolist(), expected
+            cols = np.fromiter(
+                (c.site[1] for c in cages), dtype=np.intp, count=len(cages)
             )
-        ]
+            stuck = faults.dead_sensors[rows, cols]
+            drifted = faults.noisy_sensors[rows, cols]
+            if drifted.any():
+                readings = readings + np.where(drifted, faults.noisy_offset, 0.0)
+            if stuck.any():
+                readings = np.where(
+                    stuck,
+                    self.readout.adc.full_scale - self.readout.pedestal,
+                    readings,
+                )
+        readings = readings.tolist()
+        durations = [duration] * len(cages)
+        rescanned = [False] * len(cages)
+        rescan_time = 0.0
+        quarantine = self._sensor_quarantine
+        if quarantine is not None:
+            for i, cage in enumerate(cages):
+                if quarantine.admit(cage.site, readings[i]):
+                    continue
+                rescan_result, extra = self._rescan(cage, n_samples)
+                readings[i] = rescan_result.reading
+                rescanned[i] = True
+                durations[i] += extra
+                rescan_time += extra
+        threshold = self._detection_threshold(n_samples)
+        n_detected = 0
+        outcomes = []
+        for i, (cage, reading, present) in enumerate(
+            zip(cages, readings, expected)
+        ):
+            hit = abs(reading) > threshold
+            n_detected += hit
+            outcomes.append(
+                (
+                    cage.cage_id,
+                    SenseResult(
+                        cage_id=cage.cage_id,
+                        reading=reading,
+                        n_samples=n_samples,
+                        detected=hit,
+                        expected=present,
+                        duration=durations[i],
+                        rescanned=rescanned[i],
+                    ),
+                )
+            )
         self._log(
             "sense_all",
-            {"cages": len(outcomes), "detections": n_detected},
-            duration,
+            {"cages": len(outcomes), "detections": int(n_detected)},
+            duration + rescan_time,
         )
         return outcomes
 

@@ -1,0 +1,15 @@
+"""Fault modelling and injection for chips and fleets.
+
+The robustness tier's data layer: :class:`FaultModel` describes one
+chip's defects (dead electrodes, broken sensors, a transient-glitch
+process), :class:`FleetFaultPlan` derives an independent model per chip
+of a fleet, and :class:`FaultInjector` wraps any backend so it
+exhibits those faults deterministically.  The execution service
+(:mod:`repro.service`) attaches injectors fleet-wide and self-heals
+around the resulting :class:`~repro.core.errors.ChipFault` errors.
+"""
+
+from .injector import FaultInjector
+from .model import FaultModel, FleetFaultPlan
+
+__all__ = ["FaultInjector", "FaultModel", "FleetFaultPlan"]

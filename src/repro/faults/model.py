@@ -1,0 +1,209 @@
+"""Fault models: what can break on a CMOS DEP-array chip, as data.
+
+A >100k-electrode array only matters in production if it keeps working
+when parts of it don't: yield defects leave dead electrodes (single
+pixels, whole rows or columns tied to one driver), sensor front-ends
+drift or stick at a rail, and the digital side occasionally glitches a
+frame program.  :class:`FaultModel` captures one chip's defect map as
+boolean masks over the grid plus a seeded transient-fault process, and
+:class:`FleetFaultPlan` derives an independent model per chip of a
+fleet -- everything deterministic, so chaos tests replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _as_mask(mask, shape, name):
+    if mask is None:
+        return np.zeros(shape, dtype=bool)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != shape:
+        raise ValueError(
+            f"{name} mask shape {mask.shape} does not match grid {shape}"
+        )
+    return mask
+
+
+@dataclass
+class FaultModel:
+    """One chip's fault map.
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)`` of the electrode grid the masks cover.
+    dead_electrodes:
+        Bool mask of pixels whose actuation is broken (stuck-off or
+        stuck-on -- either way no DEP cage can be held there).
+    dead_sensors:
+        Bool mask of pixels whose readout is stuck at a rail; actuation
+        still works, but readings from these sites are garbage.
+    noisy_sensors:
+        Bool mask of pixels whose readout carries a gross offset
+        (drifted front-end); readings are biased by ``noisy_offset``.
+    transient_rate:
+        Per-operation probability of a transient :class:`ChipFault`
+        (frame-program glitch, controller hiccup), drawn from a seeded
+        RNG by the injector.
+    transient_ops:
+        Operation indices (per injector, counting from 0) that fault
+        deterministically -- for tests that need a fault at an exact
+        point in a schedule.
+    noisy_offset:
+        Additive reading error of a noisy sensor [V]; the default is
+        far outside any legitimate averaged signal, so calibration
+        bounds catch it deterministically.
+    seed:
+        RNG seed for the transient process (the injector owns the
+        stream; the model just carries the seed).
+    """
+
+    shape: tuple
+    dead_electrodes: object = None
+    dead_sensors: object = None
+    noisy_sensors: object = None
+    transient_rate: float = 0.0
+    transient_ops: frozenset = field(default_factory=frozenset)
+    noisy_offset: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self):
+        self.shape = (int(self.shape[0]), int(self.shape[1]))
+        self.dead_electrodes = _as_mask(
+            self.dead_electrodes, self.shape, "dead_electrodes"
+        )
+        self.dead_sensors = _as_mask(self.dead_sensors, self.shape, "dead_sensors")
+        self.noisy_sensors = _as_mask(
+            self.noisy_sensors, self.shape, "noisy_sensors"
+        )
+        if not 0.0 <= self.transient_rate <= 1.0:
+            raise ValueError(
+                f"transient_rate must be in [0, 1], got {self.transient_rate}"
+            )
+        self.transient_ops = frozenset(int(i) for i in self.transient_ops)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def none(cls, shape) -> "FaultModel":
+        """A healthy chip (all-clear masks, no transients)."""
+        return cls(shape=shape)
+
+    @classmethod
+    def random(cls, shape, dead_pixel_fraction=0.0, dead_rows=0, dead_cols=0,
+               dead_sensor_fraction=0.0, noisy_sensor_fraction=0.0,
+               transient_rate=0.0, seed=0) -> "FaultModel":
+        """A seeded random defect map.
+
+        ``dead_pixel_fraction`` scatters isolated dead electrodes;
+        ``dead_rows`` / ``dead_cols`` kill whole lines (a failed row or
+        column driver takes out every pixel it addresses); the sensor
+        fractions scatter stuck and drifted readout pixels.  The same
+        ``seed`` always produces the same map.
+        """
+        shape = (int(shape[0]), int(shape[1]))
+        rng = np.random.default_rng(
+            np.random.SeedSequence([int(s) for s in np.atleast_1d(seed)])
+        )
+        dead = rng.random(shape) < dead_pixel_fraction
+        if dead_rows:
+            rows = rng.choice(shape[0], size=min(dead_rows, shape[0]),
+                              replace=False)
+            dead[rows, :] = True
+        if dead_cols:
+            cols = rng.choice(shape[1], size=min(dead_cols, shape[1]),
+                              replace=False)
+            dead[:, cols] = True
+        return cls(
+            shape=shape,
+            dead_electrodes=dead,
+            dead_sensors=rng.random(shape) < dead_sensor_fraction,
+            noisy_sensors=rng.random(shape) < noisy_sensor_fraction,
+            transient_rate=transient_rate,
+            seed=int(rng.integers(0, 2**31)),
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def has_faults(self) -> bool:
+        """True when any mask or process is non-trivial."""
+        return bool(
+            self.dead_electrodes.any()
+            or self.has_sensor_faults
+            or self.transient_rate > 0.0
+            or self.transient_ops
+        )
+
+    @property
+    def has_sensor_faults(self) -> bool:
+        return bool(self.dead_sensors.any() or self.noisy_sensors.any())
+
+    def is_dead_site(self, site) -> bool:
+        """Whether the electrode at ``site`` is dead (bounds-checked)."""
+        row, col = int(site[0]), int(site[1])
+        if not (0 <= row < self.shape[0] and 0 <= col < self.shape[1]):
+            return False
+        return bool(self.dead_electrodes[row, col])
+
+    def sensor_fault(self, site):
+        """``"dead"`` / ``"noisy"`` / None for the sensor at ``site``."""
+        row, col = int(site[0]), int(site[1])
+        if not (0 <= row < self.shape[0] and 0 <= col < self.shape[1]):
+            return None
+        if self.dead_sensors[row, col]:
+            return "dead"
+        if self.noisy_sensors[row, col]:
+            return "noisy"
+        return None
+
+    def counts(self) -> dict:
+        """Defect census (for telemetry and reports)."""
+        return {
+            "dead_electrodes": int(np.count_nonzero(self.dead_electrodes)),
+            "dead_sensors": int(np.count_nonzero(self.dead_sensors)),
+            "noisy_sensors": int(np.count_nonzero(self.noisy_sensors)),
+            "transient_rate": self.transient_rate,
+            "scheduled_transients": len(self.transient_ops),
+        }
+
+
+@dataclass
+class FleetFaultPlan:
+    """Per-chip fault assignment for a whole fleet.
+
+    Each chip gets an independent :class:`FaultModel` derived
+    deterministically from ``(seed, chip_id)`` -- two chips never share
+    a defect map (real dice don't), and the same plan always produces
+    the same fleet.  Explicit per-chip models (``models``) override the
+    generated ones, for tests that need a specific chip broken in a
+    specific way.
+    """
+
+    dead_pixel_fraction: float = 0.0
+    dead_rows: int = 0
+    dead_cols: int = 0
+    dead_sensor_fraction: float = 0.0
+    noisy_sensor_fraction: float = 0.0
+    transient_rate: float = 0.0
+    seed: int = 0
+    models: dict = field(default_factory=dict)
+
+    def model_for(self, chip_id, shape) -> FaultModel:
+        """The chip's fault model (explicit override or derived)."""
+        if chip_id in self.models:
+            return self.models[chip_id]
+        return FaultModel.random(
+            shape,
+            dead_pixel_fraction=self.dead_pixel_fraction,
+            dead_rows=self.dead_rows,
+            dead_cols=self.dead_cols,
+            dead_sensor_fraction=self.dead_sensor_fraction,
+            noisy_sensor_fraction=self.noisy_sensor_fraction,
+            transient_rate=self.transient_rate,
+            seed=(self.seed, chip_id),
+        )

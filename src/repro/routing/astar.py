@@ -44,11 +44,16 @@ class ObstacleMap:
     separation:
         Chebyshev radius around each blocked site that a routed cage
         centre must not enter (the cage spacing rule).
+    hard:
+        Optional bool mask of sites blocked *without* inflation -- dead
+        electrodes exclude only the cage centre itself (a neighbouring
+        live pixel still holds a cage at full separation from it).
     """
 
     grid: ElectrodeGrid
     blocked: set = field(default_factory=set)
     separation: int = 2
+    hard: object = None
 
     def __post_init__(self):
         if isinstance(self.blocked, np.ndarray):
@@ -66,6 +71,8 @@ class ObstacleMap:
         # whole-array ops instead of a Python loop over every blocked
         # site times its (2s-1)^2 neighbourhood.
         self._inflated = inflate_mask(mask, self.separation - 1)
+        if self.hard is not None:
+            self._inflated = self._inflated | np.asarray(self.hard, dtype=bool)
         # A* probes is_free thousands of times per route; a flat Python
         # list answers each probe several times faster than a numpy
         # scalar read.
@@ -73,14 +80,16 @@ class ObstacleMap:
         self._cols = self.grid.cols
 
     @classmethod
-    def from_mask(cls, grid, mask, separation=2) -> "ObstacleMap":
+    def from_mask(cls, grid, mask, separation=2, hard_mask=None) -> "ObstacleMap":
         """Build directly from a boolean occupancy grid.
 
         This is the :class:`~repro.array.state.ArrayState` fast path:
         the platform hands over ``state.obstacle_mask(...)`` without
-        materialising a per-call Python site set.
+        materialising a per-call Python site set.  ``hard_mask`` adds
+        uninflated blocked sites (dead electrodes).
         """
-        return cls(grid, np.asarray(mask, dtype=bool), separation)
+        return cls(grid, np.asarray(mask, dtype=bool), separation,
+                   hard=hard_mask)
 
     def blocked_sites(self):
         """Set of blocked cage-centre sites (materialised on demand)."""

@@ -159,12 +159,21 @@ class BatchRouter:
         cage's search is declared failed.
     max_expansions:
         Per-cage space-time A* expansion budget.
+    blocked:
+        Optional bool mask of statically forbidden cage-centre sites
+        (dead electrodes).  Uninflated: only the centre is excluded.
+        Starts on blocked sites are tolerated (a fault may flip under a
+        live cage, which must still be able to escape); goals are not.
     """
 
     grid: ElectrodeGrid
     min_separation: int = 2
     horizon_slack: int = 40
     max_expansions: int = 400000
+    blocked: object = None
+
+    def __post_init__(self):
+        self._blocked_flat = None  # built per plan() call
 
     def plan(self, requests, priority=None):
         """Plan all requests; returns a :class:`BatchPlan`.
@@ -186,6 +195,13 @@ class BatchRouter:
             When any cage cannot reach its goal within the horizon.
         """
         requests = list(requests)
+        # Flat-list probe table for the static blocked mask, matching
+        # the reservation table's access idiom (see _ReservationTable).
+        self._blocked_flat = (
+            np.asarray(self.blocked, dtype=bool).ravel().tolist()
+            if self.blocked is not None
+            else None
+        )
         self._validate(requests)
         if priority is None:
             def priority(req):
@@ -224,6 +240,15 @@ class BatchRouter:
                     raise RoutingError(
                         f"cage {request.cage_id} {label} {site} out of bounds"
                     )
+            if (self._blocked_flat is not None
+                    and self._blocked_flat[
+                        request.goal[0] * self.grid.cols + request.goal[1]
+                    ]
+                    and request.goal != request.start):
+                raise RoutingError(
+                    f"cage {request.cage_id} goal {request.goal} is a "
+                    f"dead electrode"
+                )
         for sites, label in (
             ([r.start for r in requests], "starts"),
             ([r.goal for r in requests], "goals"),
@@ -268,9 +293,17 @@ class BatchRouter:
                 raise RoutingError(
                     f"cage {request.cage_id}: space-time search budget exhausted"
                 )
+            blocked_flat = self._blocked_flat
             for dr, dc in MOVES_8 + (WAIT,):
                 nxt = (site[0] + dr, site[1] + dc)
                 if not self.grid.in_bounds(*nxt):
+                    continue
+                if (blocked_flat is not None
+                        and blocked_flat[nxt[0] * self.grid.cols + nxt[1]]
+                        and nxt != start):
+                    # dead electrode: no cage centre may enter (waiting
+                    # on a blocked *start* stays legal -- the cage must
+                    # be able to leave a site that died under it)
                     continue
                 nt = t + 1
                 if not table.site_free(nxt, nt):

@@ -20,6 +20,7 @@ from .detection import (
     threshold_for_false_alarm,
 )
 from .optical import OpticalSensor
+from .quarantine import ReadingBounds, SensorQuarantine
 from .readout import AnalogToDigital, CapacitiveReadoutChain, ChargeAmplifier
 from .spectroscopy import (
     SpectrumClassifier,

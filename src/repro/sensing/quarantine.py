@@ -1,0 +1,75 @@
+"""Sensor quarantine: catch out-of-calibration readings, not garbage.
+
+A healthy pixel's averaged, pedestal-removed reading is millivolts at
+most (the transducer contrast of a caged particle); a stuck or drifted
+front-end returns rail-scale values.  :class:`ReadingBounds` encodes
+the calibration envelope, and :class:`SensorQuarantine` tracks the
+sites whose readings left it -- the platform then re-scans a flagged
+cage from a healthy neighbouring pixel instead of reporting the bogus
+value, and keeps the site on the blacklist for the chip's lifetime
+(readout defects don't heal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ReadingBounds:
+    """Calibration envelope for averaged pedestal-removed readings [V]."""
+
+    max_abs: float
+
+    def __post_init__(self):
+        if self.max_abs <= 0.0:
+            raise ValueError(f"max_abs must be positive, got {self.max_abs}")
+
+    def ok(self, reading) -> bool:
+        return abs(float(reading)) <= self.max_abs
+
+    @classmethod
+    def for_readout(cls, readout, fraction=0.1) -> "ReadingBounds":
+        """Bounds derived from a readout chain's ADC full scale.
+
+        Legitimate signals are millivolt-scale on a ~1 V full scale;
+        a stuck rail reads a large fraction of full scale (the pedestal
+        alone is 25%).  One tenth of full scale separates the two by
+        more than an order of magnitude on each side.
+        """
+        return cls(max_abs=fraction * readout.adc.full_scale)
+
+
+class SensorQuarantine:
+    """Per-chip blacklist of sensor sites with out-of-bounds readings."""
+
+    def __init__(self, bounds: ReadingBounds):
+        self.bounds = bounds
+        self.flagged = set()
+        self.checked = 0
+        self.rescans = 0
+        self.rescan_failures = 0
+
+    def admit(self, site, reading) -> bool:
+        """Check one reading; flags and returns False when it is out of
+        bounds.  A site stays flagged forever once caught."""
+        self.checked += 1
+        if self.bounds.ok(reading):
+            return True
+        self.flagged.add((int(site[0]), int(site[1])))
+        return False
+
+    def is_flagged(self, site) -> bool:
+        return (int(site[0]), int(site[1])) in self.flagged
+
+    @property
+    def flagged_count(self) -> int:
+        return len(self.flagged)
+
+    def stats(self) -> dict:
+        return {
+            "checked": self.checked,
+            "flagged": self.flagged_count,
+            "rescans": self.rescans,
+            "rescan_failures": self.rescan_failures,
+        }

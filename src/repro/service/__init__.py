@@ -34,6 +34,7 @@ from .cache import CacheStats, ProgramCache, program_key, rebind_program
 from .fleet import (
     POLICIES,
     AffinityPolicy,
+    ChipHealth,
     ChipWorker,
     DispatchPolicy,
     Fleet,
@@ -41,7 +42,15 @@ from .fleet import (
     RoundRobinPolicy,
     make_policy,
 )
-from .jobs import Job, JobHandle, JobResult, JobState
+from .jobs import (
+    ErrorKind,
+    Job,
+    JobError,
+    JobHandle,
+    JobResult,
+    JobState,
+    classify_error,
+)
 from .scheduler import ADMISSION_POLICIES, ExecutionService, ServiceConfig
 from .telemetry import Counter, Histogram, Telemetry
 
@@ -51,13 +60,16 @@ __all__ = [
     "ADMISSION_POLICIES",
     "AffinityPolicy",
     "CacheStats",
+    "ChipHealth",
     "ChipWorker",
     "Counter",
     "DispatchPolicy",
+    "ErrorKind",
     "ExecutionService",
     "Fleet",
     "Histogram",
     "Job",
+    "JobError",
     "JobHandle",
     "JobResult",
     "JobState",
@@ -67,6 +79,7 @@ __all__ = [
     "RoundRobinPolicy",
     "ServiceConfig",
     "Telemetry",
+    "classify_error",
     "make_policy",
     "program_key",
     "rebind_program",

@@ -21,10 +21,27 @@ Which chip gets the next job is a pluggable :class:`DispatchPolicy`:
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 
 from ..core.session import Session
 from .cache import CacheStats, ProgramCache
+
+
+class ChipHealth(enum.Enum):
+    """Dispatchability of one chip of the fleet.
+
+    * HEALTHY -- accepts new jobs.
+    * DRAINING -- finishes nothing new; operator took it out of rotation
+      (graceful maintenance) but its state is intact.
+    * QUARANTINED -- the self-healing loop benched it after K
+      consecutive chip-attributable failures; new jobs migrate to the
+      rest of the fleet until the chip is restarted.
+    """
+
+    HEALTHY = "healthy"
+    DRAINING = "draining"
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -36,6 +53,10 @@ class ChipWorker:
     cache: ProgramCache = field(default_factory=ProgramCache)
     jobs_done: int = 0
     busy_time: float = 0.0  # accumulated chip seconds across jobs
+    health: ChipHealth = ChipHealth.HEALTHY
+    consecutive_failures: int = 0   # chip-attributable failure streak
+    quarantined_at: float | None = None  # fleet time of quarantine
+    restarts: int = 0
 
     @property
     def elapsed(self) -> float:
@@ -46,6 +67,10 @@ class ChipWorker:
     def load(self) -> float:
         """Dispatch load metric: chip seconds already committed."""
         return self.busy_time
+
+    @property
+    def dispatchable(self) -> bool:
+        return self.health is ChipHealth.HEALTHY
 
 
 class DispatchPolicy:
@@ -222,6 +247,18 @@ class Fleet:
     @property
     def total_busy_time(self) -> float:
         return sum(w.busy_time for w in self.workers)
+
+    @property
+    def healthy_workers(self) -> list:
+        """Chips currently accepting new jobs."""
+        return [w for w in self.workers if w.dispatchable]
+
+    def worker(self, chip_id) -> ChipWorker:
+        """Look up one chip by id (ValueError when absent)."""
+        for worker in self.workers:
+            if worker.chip_id == chip_id:
+                return worker
+        raise ValueError(f"no chip {chip_id} in fleet")
 
     def cache_stats(self) -> CacheStats:
         """Aggregate hit/miss stats across every chip's cache."""

@@ -42,6 +42,73 @@ class JobState(enum.Enum):
 UNSERVED_STATES = (JobState.REJECTED, JobState.SHED, JobState.EXPIRED)
 
 
+class ErrorKind(enum.Enum):
+    """Taxonomy of job failures -- what went wrong, and whether a retry
+    could have helped.
+
+    * TRANSIENT -- a chip-attributable fault (:class:`ChipFault`): the
+      same job may well succeed on a retry or on another chip.
+    * TIMEOUT -- the attempt exceeded the per-job service-time budget;
+      retryable (another chip, or a cache hit, may be faster).
+    * PERMANENT -- the job itself is bad (protocol bug, separation
+      violation, compile error); retrying anywhere is pointless.
+    * REJECTED -- the service refused or dropped the job before any
+      chip ran it (admission, shed, deadline expiry).
+    """
+
+    TRANSIENT = "transient"
+    TIMEOUT = "timeout"
+    PERMANENT = "permanent"
+    REJECTED = "rejected"
+
+    @property
+    def retryable(self) -> bool:
+        return self in (ErrorKind.TRANSIENT, ErrorKind.TIMEOUT)
+
+
+@dataclass
+class JobError:
+    """Structured error record on a terminal :class:`JobResult`.
+
+    ``__str__`` returns the bare message so existing callers that do
+    substring checks on ``str(result.error)`` keep working.
+    """
+
+    kind: ErrorKind
+    message: str
+    cause: object = None          # the original exception, when any
+    chip_id: int | None = None    # chip of the *final* failed attempt
+    attempts: int = 0             # attempts consumed when it went terminal
+
+    def __str__(self) -> str:
+        return self.message
+
+    @property
+    def retryable(self) -> bool:
+        return self.kind.retryable
+
+
+def classify_error(exc, chip_id=None, attempts=0) -> JobError:
+    """Map a raised exception to a :class:`JobError`.
+
+    Anything carrying a truthy ``transient`` attribute (the
+    :class:`~repro.core.errors.ChipFault` marker) is TRANSIENT; every
+    other execution error is the job's own fault and PERMANENT.
+    """
+    kind = (
+        ErrorKind.TRANSIENT
+        if getattr(exc, "transient", False)
+        else ErrorKind.PERMANENT
+    )
+    return JobError(
+        kind=kind,
+        message=str(exc),
+        cause=exc,
+        chip_id=chip_id,
+        attempts=attempts,
+    )
+
+
 @dataclass
 class Job:
     """One protocol plus its serving metadata.
@@ -49,6 +116,15 @@ class Job:
     Higher ``priority`` runs first; ``deadline`` (fleet virtual seconds
     of allowed queue wait) expires the job if no chip picks it up in
     time.  ``submitted_at`` is stamped by the service at admission.
+
+    ``attempts``/``not_before``/``last_chip``/``tried_chips`` are the
+    retry bookkeeping: a job re-queued after a transient fault carries
+    how many attempts it has burned, the virtual time before which it
+    must not be re-run (backoff), the chip that last failed it, and
+    every chip that has failed it so far (retries prefer chips the job
+    has never failed on -- a "transient" that is really a defect local
+    to one chip, like a dead electrode under the protocol's path, is
+    escaped by trying genuinely different hardware).
     """
 
     protocol: object
@@ -58,6 +134,10 @@ class Job:
     submitted_at: float = 0.0
     state: JobState = JobState.QUEUED
     fingerprint: str = ""
+    attempts: int = 0
+    not_before: float = 0.0
+    last_chip: int | None = None
+    tried_chips: set = field(default_factory=set)
 
     def sort_key(self):
         """Heap key: highest priority first, FIFO within a priority."""
@@ -69,20 +149,24 @@ class JobResult:
     """Terminal record of one job.
 
     ``run`` is the underlying :class:`~repro.core.results.RunResult`
-    when the job executed (DONE or FAILED), else None.  Latencies are
-    fleet virtual seconds (see module docstring).
+    when the job executed (DONE or FAILED), else None.  ``error`` is a
+    :class:`JobError` on any non-DONE terminal state.  Latencies are
+    fleet virtual seconds (see module docstring); for retried jobs they
+    describe the final attempt, with ``attempts`` recording how many
+    were consumed in total.
     """
 
     job_id: int
     state: JobState
     protocol_name: str = ""
     run: object = None
-    error: object = None
+    error: JobError | None = None
     chip_id: int | None = None
     cache_hit: bool = False
     submitted_at: float = 0.0
     started_at: float = 0.0
     finished_at: float = 0.0
+    attempts: int = 0
 
     @property
     def ok(self) -> bool:

@@ -12,6 +12,18 @@ The service is synchronous: chips are simulated, so "waiting" on a
 handle drives the drain loop instead of blocking a thread.  Time is
 fleet virtual time (accounted chip seconds), making every latency and
 throughput figure deterministic for a given workload.
+
+The service is also the *self-healing* tier of the fault-tolerance
+stack (see :mod:`repro.faults`): jobs that fail with a retryable error
+(:class:`~repro.core.errors.ChipFault`, or a per-job timeout) are
+re-queued with exponential backoff and steered away from the chip that
+failed them; a chip that fails K jobs in a row is quarantined -- taken
+out of rotation with its queued work migrating to the rest of the
+fleet -- and restarted (fresh spawn, same physical defect map) after a
+cooldown.  Every job admitted therefore reaches a well-defined terminal
+state: DONE with a correct result, or FAILED with a structured
+:class:`~repro.service.jobs.JobError` -- never a hang, never silent
+corruption.
 """
 
 from __future__ import annotations
@@ -20,11 +32,20 @@ import heapq
 from dataclasses import dataclass
 
 from ..core.backend import DryRunBackend, SimulatorBackend
-from ..core.errors import BiochipError
+from ..core.errors import BiochipError, ServiceError
 from ..core.platform import Biochip
-from ..core.session import sweep_handles
-from .fleet import Fleet, make_policy
-from .jobs import Job, JobHandle, JobResult, JobState
+from ..core.session import Session, sweep_handles
+from ..faults import FaultInjector, FaultModel, FleetFaultPlan
+from .fleet import ChipHealth, Fleet, make_policy
+from .jobs import (
+    ErrorKind,
+    Job,
+    JobError,
+    JobHandle,
+    JobResult,
+    JobState,
+    classify_error,
+)
 from .telemetry import Telemetry
 
 #: Admission behaviours when the queue is at ``max_queue_depth``.
@@ -54,6 +75,26 @@ class ServiceConfig:
         it.
     cache_capacity:
         Per-chip compiled-program cache capacity (None = unbounded).
+    max_retries:
+        How many times a job failing with a *retryable* error
+        (transient chip fault, timeout) is re-queued before it goes
+        terminal FAILED.  0 disables retries.
+    retry_backoff:
+        Base backoff [fleet virtual s] before a retry may run;
+        exponential (doubles per attempt).
+    job_timeout:
+        Per-attempt service-time budget [virtual s]; an attempt
+        exceeding it fails with a TIMEOUT error (retryable).  None
+        disables the budget.
+    quarantine_after:
+        Consecutive chip-attributable failures (transient/timeout) that
+        bench a chip.  None disables quarantine.
+    restart_cooldown:
+        Virtual seconds a quarantined chip sits out before the service
+        auto-restarts it (fresh spawn, same defect map).  None means
+        manual restarts only -- though the service will still restart
+        the longest-benched chip rather than refuse a job when *every*
+        chip is quarantined.
     """
 
     n_chips: int = 4
@@ -61,6 +102,11 @@ class ServiceConfig:
     max_queue_depth: int | None = None
     admission: str = "reject"
     cache_capacity: int | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.5
+    job_timeout: float | None = None
+    quarantine_after: int | None = 3
+    restart_cooldown: float | None = 30.0
 
     def __post_init__(self):
         if self.admission not in ADMISSION_POLICIES:
@@ -68,15 +114,34 @@ class ServiceConfig:
                 f"admission must be one of {ADMISSION_POLICIES}, "
                 f"got {self.admission!r}"
             )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0.0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0.0:
+            raise ValueError(
+                f"job_timeout must be positive, got {self.job_timeout}"
+            )
+        if self.quarantine_after is not None and self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+        if self.restart_cooldown is not None and self.restart_cooldown < 0.0:
+            raise ValueError(
+                f"restart_cooldown must be >= 0, got {self.restart_cooldown}"
+            )
 
 
 class ExecutionService:
     """Serve a stream of protocol jobs across a fleet of chips."""
 
     def __init__(self, template_backend, config: ServiceConfig | None = None,
-                 registry=None):
+                 registry=None, faults=None):
         self.config = config or ServiceConfig()
         self.registry = registry
+        self._template = template_backend
         self.fleet = Fleet.spawn(
             template_backend,
             self.config.n_chips,
@@ -89,20 +154,54 @@ class ExecutionService:
         self._queued_count = 0  # QUEUED entries (heap may hold shed ones)
         self._handles = {}  # job_id -> JobHandle
         self._next_id = 0
+        # Fault plan: a FleetFaultPlan (per-chip models), or one
+        # FaultModel applied to every chip.  Injectors wrap each chip's
+        # backend; counters from restarted (discarded) injectors are
+        # accumulated in _retired_faults so telemetry never loses them.
+        if isinstance(faults, FaultModel):
+            faults = FleetFaultPlan(
+                models={w.chip_id: faults for w in self.fleet.workers}
+            )
+        self._fault_plan = faults
+        self._retired_faults = {}
+        if self._fault_plan is not None:
+            for worker in self.fleet.workers:
+                self._attach_faults(worker)
+
+    def _attach_faults(self, worker):
+        """Wrap a worker's backend in a fault injector per the plan.
+
+        Deterministic per (plan seed, chip, restart count): the defect
+        map survives restarts (defects are physical, per-die) while the
+        transient stream re-seeds (glitches are per-power-up).
+        """
+        backend = worker.session.backend
+        grid = backend.grid
+        model = self._fault_plan.model_for(
+            worker.chip_id, (grid.rows, grid.cols)
+        )
+        injector = FaultInjector(
+            backend, model,
+            seed=(self._fault_plan.seed, worker.chip_id, worker.restarts),
+        )
+        worker.session = Session(injector, registry=self.registry)
 
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def simulator(cls, config=None, chip=None, registry=None):
+    def simulator(cls, config=None, chip=None, registry=None, faults=None):
         """A service whose chips are full physical simulators."""
         chip = chip if chip is not None else Biochip.small_chip()
-        return cls(SimulatorBackend(chip), config=config, registry=registry)
+        return cls(SimulatorBackend(chip), config=config, registry=registry,
+                   faults=faults)
 
     @classmethod
-    def dry_run(cls, config=None, registry=None, **backend_kwargs):
+    def dry_run(cls, config=None, registry=None, faults=None,
+                **backend_kwargs):
         """A service on time/geometry-only chips, for planning scale."""
         return cls(
-            DryRunBackend(**backend_kwargs), config=config, registry=registry
+            DryRunBackend(**backend_kwargs), config=config, registry=registry,
+            faults=faults,
         )
 
     # -- submission / admission ---------------------------------------------
@@ -188,6 +287,13 @@ class ExecutionService:
         handle._resolve(result)
         return result
 
+    #: Messages for terminal states the service imposed (no chip ran).
+    _UNSERVED_MESSAGES = {
+        JobState.REJECTED: "rejected at admission: queue full",
+        JobState.SHED: "shed from the queue for a higher-priority job",
+        JobState.EXPIRED: "deadline expired before a chip was free",
+    }
+
     def _finish_unserved(self, job, state, counter) -> JobResult:
         """Terminalise a job that never reached a chip."""
         job.state = state
@@ -198,30 +304,59 @@ class ExecutionService:
                 job_id=job.job_id,
                 state=state,
                 protocol_name=getattr(job.protocol, "name", ""),
+                error=JobError(
+                    kind=ErrorKind.REJECTED,
+                    message=self._UNSERVED_MESSAGES[state],
+                    chip_id=job.last_chip,
+                    attempts=job.attempts,
+                ),
                 submitted_at=job.submitted_at,
                 started_at=job.submitted_at,
                 finished_at=job.submitted_at,
+                attempts=job.attempts,
             ),
         )
 
     # -- the drain loop -----------------------------------------------------
 
     def step(self) -> JobResult | None:
-        """Advance the service by one job event.
+        """Advance the service until one job reaches a terminal state.
 
         Pops the highest-priority queued job and either expires it
         (deadline passed before its chip was free) or dispatches it to
         a chip, compiles or reuses its program, runs it, and meters the
-        outcome.  Returns the job's terminal :class:`JobResult`, or
-        None when the queue is empty.
+        outcome.  An attempt that fails with a *retryable* error and
+        has retry budget left is re-queued (with backoff) instead of
+        going terminal; the loop then keeps dispatching until some job
+        does terminalise.  Returns that job's :class:`JobResult`, or
+        None when the queue is empty.  Termination is guaranteed:
+        every re-queue burns one of a job's bounded retry budget.
         """
+        self._maybe_restore_chips()
+        deferred = []
+        outcome = None
         while self._queue:
             __, job = heapq.heappop(self._queue)
             if job.state is not JobState.QUEUED:
                 continue  # shed after enqueue; already terminal
+            # Delay-queue semantics for retries: while a retry is still
+            # inside its backoff window (no chip clock has reached
+            # not_before) and other jobs are ready, the ready jobs run
+            # first -- dispatching the retry now would only make a chip
+            # sit idle through the window instead of serving traffic.
+            # When the retry is the only queued work it runs anyway
+            # (the idle wait is then genuine), so nothing can starve.
+            others_ready = self._queued_count - 1 - len(deferred)
+            if (job.not_before > self.fleet.now and others_ready > 0):
+                deferred.append(job)
+                continue
             self._queued_count -= 1
-            return self._dispatch(job)
-        return None
+            outcome = self._dispatch(job)
+            if outcome is not None:
+                break  # terminal; None means re-queued retry
+        for job in deferred:
+            heapq.heappush(self._queue, (job.sort_key(), job))
+        return outcome
 
     def drain(self) -> list:
         """Run every queued job to a terminal state, priority order."""
@@ -232,22 +367,182 @@ class ExecutionService:
                 return results
             results.append(result)
 
-    def _dispatch(self, job) -> JobResult:
-        worker = self.policy.select(self.fleet.workers, job.fingerprint)
+    # -- self-healing -------------------------------------------------------
+
+    def _maybe_restore_chips(self):
+        """Auto-restart quarantined chips whose cooldown has elapsed."""
+        cooldown = self.config.restart_cooldown
+        if cooldown is None:
+            return
+        now = self.fleet.now
+        for worker in self.fleet.workers:
+            if (worker.health is ChipHealth.QUARANTINED
+                    and worker.quarantined_at is not None
+                    and now - worker.quarantined_at >= cooldown):
+                self.restart_chip(worker.chip_id)
+
+    def _eligible_workers(self, job):
+        """Dispatchable chips for ``job``, preferring not to re-run a
+        retry on the chip that just failed it.
+
+        Never returns empty: if every chip is quarantined, the
+        longest-benched one is restarted rather than refusing service
+        (a fleet with zero capacity would strand the queue).  A fleet
+        that is entirely *draining* is an operator decision, though --
+        that raises :class:`~repro.core.errors.ServiceError`.
+        """
+        healthy = self.fleet.healthy_workers
+        if not healthy:
+            benched = [
+                w for w in self.fleet.workers
+                if w.health is ChipHealth.QUARANTINED
+            ]
+            if not benched:
+                raise ServiceError(
+                    "no dispatchable chips: the whole fleet is draining"
+                )
+            worker = min(
+                benched, key=lambda w: (w.quarantined_at, w.chip_id)
+            )
+            self.restart_chip(worker.chip_id)
+            healthy = [worker]
+        if len(healthy) > 1:
+            # Prefer chips the job has never failed on: a "transient"
+            # that is really a chip-local defect (a dead electrode
+            # under the protocol's path) is only escaped by genuinely
+            # different hardware, not by ping-ponging between the same
+            # two faulty chips.
+            fresh = [w for w in healthy if w.chip_id not in job.tried_chips]
+            if fresh:
+                return fresh
+            if job.last_chip is not None:
+                away = [w for w in healthy if w.chip_id != job.last_chip]
+                if away:
+                    return away
+        return healthy
+
+    def quarantine_chip(self, chip_id):
+        """Bench a chip: no new dispatches until it is restarted."""
+        worker = self.fleet.worker(chip_id)
+        if worker.health is ChipHealth.QUARANTINED:
+            return
+        worker.health = ChipHealth.QUARANTINED
+        worker.quarantined_at = self.fleet.now
+        self.telemetry.count("quarantined")
+
+    def drain_chip(self, chip_id):
+        """Gracefully take a chip out of rotation (state intact)."""
+        worker = self.fleet.worker(chip_id)
+        if worker.health is not ChipHealth.QUARANTINED:
+            worker.health = ChipHealth.DRAINING
+
+    def restart_chip(self, chip_id):
+        """Power-cycle a chip: fresh backend spawn, cleared program
+        cache (chip memory is wiped), health reset.
+
+        The replacement inherits the SLOT's clock (a restart does not
+        travel back in time) and -- when a fault plan is active -- the
+        same physical defect map with a re-seeded transient stream.
+
+        The slot clock resumes at the old chip's local time, pushed
+        forward to the end of the cooldown window when the chip was
+        quarantined.  It does NOT jump to ``fleet.now``: yanking a
+        benched slot to the global max clock would make every later
+        failure on it stamp retries with a fleet-wide ``not_before``,
+        forcing other chips to idle up to it.
+        """
+        worker = self.fleet.worker(chip_id)
+        # Capture the slot clock BEFORE the worker's session is
+        # replaced (a fresh backend reads 0.0).
+        online_at = worker.elapsed
+        cooldown = self.config.restart_cooldown
+        if worker.quarantined_at is not None and cooldown is not None:
+            online_at = max(online_at, worker.quarantined_at + cooldown)
+        old_backend = worker.session.backend
+        if isinstance(old_backend, FaultInjector):
+            for name, value in old_backend.counters.items():
+                self._retired_faults[name] = (
+                    self._retired_faults.get(name, 0) + value
+                )
+        worker.session = Session(self._template.spawn(),
+                                 registry=self.registry)
+        worker.cache.clear()
+        worker.restarts += 1
+        if self._fault_plan is not None:
+            self._attach_faults(worker)
+        if online_at > 0.0:
+            worker.session.backend.incubate(online_at)
+        worker.health = ChipHealth.HEALTHY
+        worker.consecutive_failures = 0
+        worker.quarantined_at = None
+        self.telemetry.count("restarted")
+
+    def _account_chip_health(self, worker, error):
+        """Update a chip's failure streak from one attempt's outcome.
+
+        Only chip-attributable (retryable) errors count toward the
+        streak: a PERMANENT error is the job's own fault and says
+        nothing about the chip.
+        """
+        if error is None:
+            worker.consecutive_failures = 0
+            return
+        if not error.retryable:
+            return
+        worker.consecutive_failures += 1
+        threshold = self.config.quarantine_after
+        if (threshold is not None
+                and worker.health is ChipHealth.HEALTHY
+                and worker.consecutive_failures >= threshold):
+            self.quarantine_chip(worker.chip_id)
+
+    def _requeue_for_retry(self, job, worker, error):
+        """Put a retryably-failed job back in the queue with backoff."""
+        job.attempts += 1
+        job.last_chip = worker.chip_id
+        job.tried_chips.add(worker.chip_id)
+        backoff = self.config.retry_backoff * (2 ** (job.attempts - 1))
+        job.not_before = worker.elapsed + backoff
+        job.state = JobState.QUEUED
+        heapq.heappush(self._queue, (job.sort_key(), job))
+        self._queued_count += 1
+        self.telemetry.count("retried")
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _dispatch(self, job) -> JobResult | None:
+        """Run one attempt of ``job``; returns its terminal
+        :class:`JobResult`, or None when the attempt was re-queued for
+        retry."""
+        eligible = self._eligible_workers(job)
+        if job.not_before > 0.0 and len(eligible) > 1:
+            # Clock-aware retry placement: the backoff window ends at a
+            # point in FLEET time, so a chip whose local clock already
+            # passed it takes the retry with zero idle, while a lagging
+            # chip would incubate all the way up to the window before
+            # doing any work.  Prefer caught-up chips (the policy picks
+            # among them as usual); failing that, the least-lagging one.
+            caught_up = [w for w in eligible if w.elapsed >= job.not_before]
+            eligible = caught_up or [max(eligible, key=lambda w: w.elapsed)]
+        worker = self.policy.select(eligible, job.fingerprint)
         # Deadline is a queue-wait budget on the chip the job would
         # actually run on: expiry must not punish a job for OTHER
         # chips' progress (fleet.now) when its own chip is free.
         if (job.deadline is not None
                 and worker.elapsed - job.submitted_at > job.deadline):
             return self._finish_unserved(job, JobState.EXPIRED, "expired")
+        if job.attempts > 0 and worker.chip_id != job.last_chip:
+            self.telemetry.count("migrated")
         job.state = JobState.RUNNING
         # Chips run in parallel: a chip whose local clock lags the job's
         # submission time was simply idle in fleet wall time, so it sits
         # (cages static) until the job could physically have arrived.
         # This keeps every JobResult on ONE clock -- started_at is never
         # before submitted_at, and queue waits are genuine, not clamped.
-        if worker.elapsed < job.submitted_at:
-            worker.session.backend.incubate(job.submitted_at - worker.elapsed)
+        # Retries additionally honour their backoff window (not_before).
+        resume_at = max(job.submitted_at, job.not_before)
+        if worker.elapsed < resume_at:
+            worker.session.backend.incubate(resume_at - worker.elapsed)
         started_at = worker.elapsed
         run = None
         error = None
@@ -260,11 +555,48 @@ class ExecutionService:
             )
             run = worker.session.run(program, handles=handles)
         except BiochipError as exc:
-            error = exc
-        self._sweep(worker, handles)
+            error = classify_error(
+                exc, chip_id=worker.chip_id, attempts=job.attempts + 1
+            )
+        except Exception as exc:  # noqa: BLE001 -- the service must
+            # survive *any* dispatch bug: an unclassified exception
+            # still terminalises the job (PERMANENT -- retrying a
+            # software bug elsewhere is pointless) instead of escaping
+            # with the job stuck RUNNING and its cages leaked.
+            error = JobError(
+                kind=ErrorKind.PERMANENT,
+                message=f"unexpected {type(exc).__name__}: {exc}",
+                cause=exc,
+                chip_id=worker.chip_id,
+                attempts=job.attempts + 1,
+            )
+        finally:
+            # The sweep must run no matter how dispatch failed --
+            # leftover cages would poison the chip for every later job.
+            self._sweep(worker, handles)
         finished_at = worker.elapsed
         worker.jobs_done += 1
         worker.busy_time += finished_at - started_at
+        if (error is None
+                and self.config.job_timeout is not None
+                and finished_at - started_at > self.config.job_timeout):
+            error = JobError(
+                kind=ErrorKind.TIMEOUT,
+                message=(
+                    f"attempt took {finished_at - started_at:.3f}s, over "
+                    f"the {self.config.job_timeout:.3f}s job timeout"
+                ),
+                chip_id=worker.chip_id,
+                attempts=job.attempts + 1,
+            )
+            run = None  # past-budget results are discarded, not trusted
+            self.telemetry.count("timeout")
+        self._account_chip_health(worker, error)
+        if (error is not None
+                and error.retryable
+                and job.attempts < self.config.max_retries):
+            self._requeue_for_retry(job, worker, error)
+            return None
         state = JobState.DONE if error is None else JobState.FAILED
         job.state = state
         self.telemetry.count("completed" if error is None else "failed")
@@ -279,6 +611,7 @@ class ExecutionService:
             submitted_at=job.submitted_at,
             started_at=started_at,
             finished_at=finished_at,
+            attempts=job.attempts + 1,
         )
         self.telemetry.observe_served(result)
         return self._resolve(job, result)
@@ -296,9 +629,22 @@ class ExecutionService:
 
     # -- observability ------------------------------------------------------
 
+    def fault_counters(self) -> dict:
+        """Faults injected fleet-wide, including restarted injectors."""
+        totals = dict(self._retired_faults)
+        for worker in self.fleet.workers:
+            backend = worker.session.backend
+            if isinstance(backend, FaultInjector):
+                for name, value in backend.counters.items():
+                    totals[name] = totals.get(name, 0) + value
+        return totals
+
     def snapshot(self) -> dict:
         """JSON-ready dict of counters, latencies, cache and fleet."""
-        return self.telemetry.snapshot(fleet=self.fleet)
+        snap = self.telemetry.snapshot(fleet=self.fleet)
+        if self._fault_plan is not None:
+            snap["faults"] = self.fault_counters()
+        return snap
 
     def report(self) -> str:
         """Human-readable service telemetry."""

@@ -80,9 +80,14 @@ class Histogram:
         }
 
 
-#: Lifecycle counters every service tracks.
+#: Lifecycle counters every service tracks.  The second row is the
+#: fault-tolerance meters: attempts re-queued after retryable failures,
+#: retries that landed on a different chip than the one that failed,
+#: attempts cut off by the per-job service-time budget, chips benched
+#: by the self-healing loop, and chip restarts (manual or cooldown).
 COUNTER_NAMES = (
     "submitted", "completed", "failed", "rejected", "shed", "expired",
+    "retried", "migrated", "timeout", "quarantined", "restarted",
 )
 
 
@@ -143,6 +148,16 @@ class Telemetry:
                 "jobs_per_chip": {
                     w.chip_id: w.jobs_done for w in fleet.workers
                 },
+                "health": {
+                    w.chip_id: getattr(
+                        getattr(w, "health", None), "value", "healthy"
+                    )
+                    for w in fleet.workers
+                },
+                "restarts": {
+                    w.chip_id: getattr(w, "restarts", 0)
+                    for w in fleet.workers
+                },
             }
         return snap
 
@@ -177,11 +192,12 @@ class Telemetry:
             fleet_snap = snap["fleet"]
             sections.append(
                 ascii_table(
-                    ["chip", "jobs", "utilization"],
+                    ["chip", "jobs", "utilization", "health"],
                     [
                         [str(chip_id),
                          str(fleet_snap["jobs_per_chip"][chip_id]),
-                         f"{fraction:.0%}"]
+                         f"{fraction:.0%}",
+                         fleet_snap["health"][chip_id]]
                         for chip_id, fraction in
                         fleet_snap["utilization"].items()
                     ],

@@ -1,0 +1,172 @@
+"""Chaos test: a randomized seeded fault schedule against an 8-chip
+fleet.  The robustness contract under test:
+
+* every admitted job reaches a well-defined terminal state (DONE or
+  FAILED) -- the drain loop never hangs and never raises;
+* every COMPLETED job's result is bit-identical to a fault-free
+  reference run of the same protocol -- faults cause retries or
+  failures, never silent corruption;
+* the fault-tolerance accounting balances (each submitted job is
+  counted terminal exactly once).
+"""
+
+import pytest
+
+from repro import Biochip, ExecutionService, ServiceConfig, Session
+from repro.faults import FaultModel, FleetFaultPlan
+from repro.service import ChipHealth, ErrorKind, JobState
+from repro.workloads import hot_protocol_traffic
+
+N_CHIPS = 8
+N_JOBS = 16
+
+
+def reference_run(protocol, grid):
+    """Fault-free ground truth: the protocol on a pristine chip."""
+    return Session.dry_run(grid=grid).run(protocol)
+
+
+def canonical_events(run):
+    """Event stream with backend cage ids stripped.
+
+    A service chip's cage-id counter keeps counting across the jobs it
+    served, so ids differ from a fresh reference chip's even when the
+    executions are identical; everything else must match exactly.
+    """
+    return [
+        (
+            event.kind,
+            {k: v for k, v in event.detail.items() if k != "cage"},
+        )
+        for event in run.events
+    ]
+
+
+def assert_bit_identical(run, reference):
+    assert canonical_events(run) == canonical_events(reference)
+    assert run.wall_time == pytest.approx(reference.wall_time)
+    assert set(run.measurements) == set(reference.measurements)
+    for key, expected in reference.measurements.items():
+        got = run.measurements[key]
+        assert [m.reading for m in got] == [m.reading for m in expected]
+        assert [m.detected for m in got] == [m.detected for m in expected]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_chaos_fleet_under_seeded_faults(seed):
+    grid = Biochip.small_chip().grid
+    plan = FleetFaultPlan(
+        dead_pixel_fraction=0.03,
+        dead_sensor_fraction=0.02,
+        transient_rate=0.12,
+        seed=seed,
+    )
+    service = ExecutionService.dry_run(
+        ServiceConfig(
+            n_chips=N_CHIPS,
+            max_retries=3,
+            retry_backoff=0.25,
+            quarantine_after=3,
+            restart_cooldown=20.0,
+        ),
+        faults=plan,
+        grid=grid,
+    )
+    protocols = hot_protocol_traffic(grid, n_jobs=N_JOBS, seed=seed)
+    handles = service.submit_many(protocols)
+    results = service.drain()
+
+    # 1. termination: every job is terminal, DONE or FAILED, and the
+    # drain returned exactly one result per admitted job.
+    assert len(results) == N_JOBS
+    for handle in handles:
+        state = handle.poll()
+        assert state.terminal
+        assert state in (JobState.DONE, JobState.FAILED)
+        if state is JobState.FAILED:
+            error = handle.result().error
+            assert error is not None
+            assert error.kind in (ErrorKind.TRANSIENT, ErrorKind.PERMANENT)
+
+    # 2. correctness: completed results are bit-identical to the
+    # fault-free reference execution of the same protocol.
+    completed = 0
+    for protocol, handle in zip(protocols, handles):
+        if handle.poll() is JobState.DONE:
+            assert_bit_identical(handle.result().run, reference_run(protocol, grid))
+            completed += 1
+    # at 12%/op transient rate with 3 retries across 8 chips, the fleet
+    # must still land most of the workload
+    assert completed >= N_JOBS // 2
+
+    # 3. accounting: counters balance, faults were actually injected.
+    counters = service.snapshot()["counters"]
+    assert counters["submitted"] == N_JOBS
+    assert counters["completed"] + counters["failed"] == N_JOBS
+    assert counters["completed"] == completed
+    assert service.snapshot()["faults"]["transient"] > 0
+    if counters["retried"] == 0:  # pragmatically impossible at 12%/op
+        pytest.fail("chaos schedule injected faults but nothing retried")
+
+
+def test_quarantined_chip_jobs_migrate_and_succeed():
+    """Deterministic migration scenario: one chip of two is broken;
+    after its failure streak benches it, every job completes on the
+    healthy chip."""
+    shape = (48, 48)
+    service = ExecutionService.dry_run(
+        ServiceConfig(
+            n_chips=2,
+            policy="least-loaded",
+            max_retries=2,
+            quarantine_after=2,
+            restart_cooldown=None,
+        ),
+        faults=FleetFaultPlan(models={
+            0: FaultModel(shape=shape, transient_rate=1.0),
+            1: FaultModel.none(shape),
+        }),
+        grid=Biochip.small_chip().grid,
+    )
+    grid = Biochip.small_chip().grid
+    protocols = hot_protocol_traffic(grid, n_jobs=8, seed=3)
+    handles = service.submit_many(protocols)
+    service.drain()
+
+    results = [h.result() for h in handles]
+    assert all(r.ok for r in results)
+    # every completed job landed on the healthy chip...
+    assert all(r.chip_id == 1 for r in results)
+    # ...matching the fault-free reference exactly
+    for protocol, result in zip(protocols, results):
+        reference = reference_run(protocol, grid)
+        assert canonical_events(result.run) == canonical_events(reference)
+    # and the broken chip was actually benched after its streak
+    assert service.fleet.worker(0).health is ChipHealth.QUARANTINED
+    counters = service.snapshot()["counters"]
+    assert counters["quarantined"] == 1
+    assert counters["migrated"] >= 2
+
+
+def test_chaos_replays_exactly():
+    """The same seed must produce the same outcome, state for state --
+    fault schedules are deterministic, so incidents replay."""
+    def run_once():
+        grid = Biochip.small_chip().grid
+        service = ExecutionService.dry_run(
+            ServiceConfig(n_chips=4, max_retries=2, quarantine_after=3),
+            faults=FleetFaultPlan(
+                dead_pixel_fraction=0.05, transient_rate=0.15, seed=21
+            ),
+            grid=grid,
+        )
+        handles = service.submit_many(
+            hot_protocol_traffic(grid, n_jobs=10, seed=2)
+        )
+        service.drain()
+        return [
+            (h.poll().value, h.result().chip_id, h.result().attempts)
+            for h in handles
+        ]
+
+    assert run_once() == run_once()
