@@ -138,7 +138,16 @@ def test_array_state_throughput(benchmark):
         "sense_samples": SENSE_SAMPLES,
         "scales": results,
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # Merge-write: bench_routing.py owns the "routing" key of the same
+    # artifact, so update only our keys instead of overwriting the file.
+    data = {}
+    if JSON_PATH.exists():
+        try:
+            data = json.loads(JSON_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.update(payload)
+    JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
     table_rows = []
     for label, r in results.items():

@@ -223,7 +223,6 @@ class CageManager:
         if not moves:
             return
         k = len(moves)
-        state = self._state
         if k <= 8:
             # Scalar fast path: for a handful of movers (single-cage
             # routing steps, small protocols) the numpy conversion and
@@ -237,6 +236,33 @@ class CageManager:
         deltas = np.fromiter(
             chain.from_iterable(moves.values()), dtype=np.int64, count=2 * k
         ).reshape(k, 2)
+        return self._step_vector(ids, deltas)
+
+    def step_arrays(self, ids, deltas):
+        """Array-native :meth:`step`: movers as ``(ids, deltas)`` arrays.
+
+        This is the zero-conversion execution path for array-backed
+        routing plans (:meth:`BatchPlan.moves_arrays_at
+        <repro.routing.multi.BatchPlan.moves_arrays_at>` emits exactly
+        this shape): ``ids`` int (movers,), ``deltas`` int (movers, 2).
+        ``ids`` must be unique -- plans guarantee it, and the dict form
+        of :meth:`step` cannot even express a duplicate.  Validation,
+        error priorities, and atomicity match :meth:`step` exactly.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64).reshape(-1, 2)
+        if ids.size == 0:
+            return
+        if ids.size <= 8:
+            moves = {
+                int(cage_id): (int(dr), int(dc))
+                for cage_id, (dr, dc) in zip(ids, deltas)
+            }
+            return self._step_scalar(moves)
+        return self._step_vector(ids, deltas)
+
+    def _step_vector(self, ids, deltas):
+        state = self._state
         # Per-mover validity (vectorized, reported in the legacy
         # per-mover priority: oversize delta, then unknown cage, then
         # destination bounds -- for the first bad mover in moves order).

@@ -93,6 +93,12 @@ class SimulatorBackend(Backend):
     def elapsed(self) -> float:
         return self.chip.elapsed
 
+    @property
+    def routing_totals(self) -> dict:
+        """Cumulative batch-planner cost (see
+        :attr:`Biochip.routing_totals`)."""
+        return self.chip.routing_totals
+
     def trap(self, site, particle=None) -> int:
         return self.chip.trap(site, particle).cage_id
 

@@ -24,7 +24,7 @@ from ..physics.constants import um
 from ..physics.dep import DepCage
 from ..physics.dielectrics import water_medium
 from ..routing.astar import ObstacleMap, RoutingError, astar_route, path_moves
-from ..routing.multi import BatchRouter, RoutingRequest
+from ..routing.multi import RoutingRequest, WavefrontRouter
 from ..sensing.capacitive import CapacitiveSensor
 from ..sensing.quarantine import ReadingBounds, SensorQuarantine
 from ..sensing.readout import CapacitiveReadoutChain
@@ -105,6 +105,25 @@ class Biochip:
         self._history = []
         self.faults = None  # FaultModel installed by apply_faults
         self._sensor_quarantine = None
+        self._routing_totals = {
+            "plans": 0,
+            "cages_planned": 0,
+            "plan_seconds": 0.0,
+            "fast_path_hits": 0,
+            "greedy_walk_hits": 0,
+            "frontier_steps": 0,
+            "expansions": 0,
+            "replans": 0,
+        }
+
+    @property
+    def routing_totals(self) -> dict:
+        """Cumulative batch-planner cost on this chip (see
+        :attr:`BatchPlan.stats <repro.routing.multi.BatchPlan.stats>`):
+        plans run, cages planned, planner wall-clock, and the fast-path
+        / frontier / replan counters.  Service telemetry snapshots the
+        per-job deltas of this dict."""
+        return dict(self._routing_totals)
 
     # -- construction helpers ---------------------------------------------
 
@@ -385,10 +404,11 @@ class Biochip:
 
         This is the paper's massively parallel manipulation primitive:
         a conflict-free synchronous plan is computed for the whole group
-        (:class:`~repro.routing.multi.BatchRouter`, with every
+        (:class:`~repro.routing.multi.WavefrontRouter`, with every
         stationary cage held as an obstacle), then each plan step is one
-        :meth:`CageManager.step` frame update -- K cages advance per
-        reprogram, instead of K independently routed moves.
+        :meth:`CageManager.step_arrays` frame update -- K cages advance
+        per reprogram, straight from the plan's delta arrays, instead of
+        K independently routed moves.
 
         Parameters
         ----------
@@ -429,32 +449,40 @@ class Biochip:
             )
             return (request.cage_id in moving, -distance)
 
-        router = BatchRouter(
+        router = WavefrontRouter(
             self.grid, min_separation=self.min_separation, blocked=dead
         )
         try:
             plan = router.plan(requests, priority=priority)
         except RoutingError as exc:
             raise ExecutionError(str(exc)) from exc
+        totals = self._routing_totals
+        totals["plans"] += 1
+        totals["cages_planned"] += plan.stats.get("cages", 0)
+        totals["plan_seconds"] += plan.stats.get("plan_seconds", 0.0)
+        for key in ("fast_path_hits", "greedy_walk_hits", "frontier_steps",
+                    "expansions", "replans"):
+            totals[key] += plan.stats.get(key, 0)
         previous_frame = self.cages.frame()
         program_time = 0.0
         dwell_time = 0.0
         total_moves = 0
+        diagonal_dwell = math.sqrt(2.0) * self.grid.pitch / self.cage_speed
+        straight_dwell = self.grid.pitch / self.cage_speed
         for step in range(plan.makespan):
-            moves = plan.moves_at(step)
-            if not moves:
+            ids, deltas = plan.moves_arrays_at(step)
+            if ids.size == 0:
                 continue
-            self.cages.step(moves)
+            self.cages.step_arrays(ids, deltas)
             frame = self.cages.frame()
             program_time += self.addresser.incremental_program_time(
                 previous_frame, frame
             )
-            dwell_time += (
-                max(math.hypot(*delta) for delta in moves.values())
-                * self.grid.pitch
-                / self.cage_speed
-            )
-            total_moves += len(moves)
+            # frame dwell is set by the longest single-cage hop: pitch,
+            # or pitch*sqrt(2) if any mover goes diagonally
+            any_diagonal = bool((deltas != 0).all(axis=1).any())
+            dwell_time += diagonal_dwell if any_diagonal else straight_dwell
+            total_moves += int(ids.size)
             previous_frame = frame
         report = {
             "cages": len(goals),
@@ -462,6 +490,7 @@ class Biochip:
             "moves": total_moves,
             "program_time": program_time,
             "dwell_time": dwell_time,
+            "plan_seconds": plan.stats.get("plan_seconds", 0.0),
         }
         self._log("move_many", dict(report), program_time + dwell_time)
         return report

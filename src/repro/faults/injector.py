@@ -80,6 +80,10 @@ class FaultInjector(Backend):
     def history(self):
         return self.backend.history
 
+    @property
+    def routing_totals(self):
+        return self.backend.routing_totals
+
     # -- fault processes ----------------------------------------------------
 
     def _roll(self, op):

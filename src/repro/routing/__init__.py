@@ -7,10 +7,12 @@ from .astar import (
     RoutingError,
     astar_route,
     chebyshev_heuristic,
+    distance_field,
+    downhill_path,
     path_moves,
 )
 from .greedy import GreedyRouter, make_requests
-from .multi import BatchPlan, BatchRouter, RoutingRequest
+from .multi import BatchPlan, BatchRouter, RoutingRequest, WavefrontRouter
 from .planner import ExecutedStep, MotionPlanner
 
 __all__ = [name for name in dir() if not name.startswith("_")]

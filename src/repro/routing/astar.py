@@ -121,6 +121,71 @@ def chebyshev_heuristic(a, b) -> int:
     return max(abs(a[0] - b[0]), abs(a[1] - b[1]))
 
 
+def distance_field(free, source, max_levels=None):
+    """King-move BFS distance from ``source`` over a free-cell mask.
+
+    Grid moves are unit cost, so Dijkstra collapses to a breadth-first
+    wavefront: each level is one 8-neighbour dilation of the reached
+    set masked by ``free`` -- whole-grid boolean ops instead of per-node
+    heap expansions.  Returns an int32 grid of distances (-1 where
+    unreachable).  ``source`` itself need not be free (a cage may start
+    on an electrode that died under it).  With no obstacles the field
+    equals the closed-form Chebyshev distance; its value is routing
+    *around* dead pixels, where cages sharing a goal share one field.
+    """
+    from ..array.state import dilate8_into
+
+    free = np.asarray(free, dtype=bool)
+    rows, cols = free.shape
+    field = np.full((rows, cols), -1, dtype=np.int32)
+    reached = np.zeros((rows, cols), dtype=bool)
+    frontier = np.zeros((rows, cols), dtype=bool)
+    tmp = np.zeros((rows, cols), dtype=bool)
+    reached[source[0], source[1]] = True
+    field[source[0], source[1]] = 0
+    if max_levels is None:
+        max_levels = rows * cols
+    for level in range(1, max_levels + 1):
+        dilate8_into(reached, frontier, tmp)
+        frontier &= free
+        new = frontier & ~reached
+        if not new.any():
+            break
+        field[new] = level
+        reached |= new
+    return field
+
+
+def downhill_path(field, start):
+    """Walk ``start`` -> the field's source along strictly decreasing
+    distances (one king move per step).
+
+    ``field`` is a :func:`distance_field` grid; the walk greedily takes
+    the neighbour with the smallest distance (ties in :data:`MOVES_8`
+    order), which on a BFS field always makes progress.  Raises
+    :class:`RoutingError` when ``start`` is unreachable from the
+    source.  Returns the site list from ``start`` to the source.
+    """
+    rows, cols = field.shape
+    row, col = start
+    if field[row, col] < 0:
+        raise RoutingError(f"site {tuple(start)} unreachable in distance field")
+    path = [(row, col)]
+    remaining = int(field[row, col])
+    while remaining > 0:
+        best = None
+        for dr, dc in MOVES_8:
+            r, c = row + dr, col + dc
+            if not (0 <= r < rows and 0 <= c < cols):
+                continue
+            d = field[r, c]
+            if d >= 0 and d < remaining and (best is None or d < best[0]):
+                best = (int(d), r, c)
+        remaining, row, col = best
+        path.append((row, col))
+    return path
+
+
 def astar_route(grid, start, goal, obstacles=None, max_expansions=200000):
     """Shortest king-move path from ``start`` to ``goal``.
 

@@ -67,18 +67,22 @@ class MotionPlanner:
             frames.append(previous_frame)
         steps = []
         for index in range(plan.makespan):
-            moves = plan.moves_at(index)
-            self.manager.step(moves)
+            ids, deltas = plan.moves_arrays_at(index)
+            self.manager.step_arrays(ids, deltas)
             frame = self.manager.frame()
             program_time = self.addresser.incremental_program_time(
                 previous_frame, frame
             )
             dwell = 0.0
-            if moves:
-                longest = max(
-                    (dr * dr + dc * dc) ** 0.5 for dr, dc in moves.values()
-                )
+            if ids.size:
+                # longest hop this frame: deltas are in {-1,0,1} so the
+                # squared norm is 0, 1 or 2
+                longest = float((deltas * deltas).sum(axis=1).max()) ** 0.5
                 dwell = longest * pitch / self.cage_speed
+            moves = {
+                int(cage_id): (int(dr), int(dc))
+                for cage_id, (dr, dc) in zip(ids, deltas)
+            }
             step = ExecutedStep(
                 index=index, moves=moves, program_time=program_time, dwell_time=dwell
             )
@@ -90,11 +94,14 @@ class MotionPlanner:
         return steps, frames
 
     def _check_alignment(self, plan):
-        for cage_id, path in plan.paths.items():
+        # read step-0 sites straight off the plan's site array -- the
+        # dict-of-paths view would materialise every step of every path
+        starts = plan.sites[:, 0]
+        for cage_id, start in zip(plan.cage_ids.tolist(), starts.tolist()):
             cage = self.manager.cage(cage_id)
-            if tuple(cage.site) != tuple(path[0]):
+            if tuple(cage.site) != tuple(start):
                 raise ValueError(
-                    f"cage {cage_id} at {cage.site} but plan starts at {path[0]}"
+                    f"cage {cage_id} at {cage.site} but plan starts at {tuple(start)}"
                 )
 
     def total_program_time(self) -> float:

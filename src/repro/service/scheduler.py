@@ -544,6 +544,9 @@ class ExecutionService:
         if worker.elapsed < resume_at:
             worker.session.backend.incubate(resume_at - worker.elapsed)
         started_at = worker.elapsed
+        routing_before = getattr(
+            worker.session.backend, "routing_totals", None
+        )
         run = None
         error = None
         cache_hit = False
@@ -575,6 +578,14 @@ class ExecutionService:
             # leftover cages would poison the chip for every later job.
             self._sweep(worker, handles)
         finished_at = worker.elapsed
+        if routing_before is not None:
+            # per-job planner cost = the chip's cumulative routing
+            # totals across the attempt (retries observe each attempt)
+            routing_after = worker.session.backend.routing_totals
+            self.telemetry.observe_routing({
+                key: routing_after[key] - routing_before[key]
+                for key in routing_after
+            })
         worker.jobs_done += 1
         worker.busy_time += finished_at - started_at
         if (error is None

@@ -104,6 +104,21 @@ class Telemetry:
     service_time: Histogram = field(
         default_factory=lambda: Histogram("service_time")
     )
+    routing_plan_time: Histogram = field(
+        default_factory=lambda: Histogram("routing_plan_time")
+    )
+    routing_totals: dict = field(
+        default_factory=lambda: {
+            "plans": 0,
+            "cages_planned": 0,
+            "plan_seconds": 0.0,
+            "fast_path_hits": 0,
+            "greedy_walk_hits": 0,
+            "frontier_steps": 0,
+            "expansions": 0,
+            "replans": 0,
+        }
+    )
 
     def count(self, name, amount=1):
         self.counters[name].inc(amount)
@@ -112,6 +127,22 @@ class Telemetry:
         """Record latencies of a job that actually ran (done/failed)."""
         self.queue_wait.observe(job_result.queue_wait)
         self.service_time.observe(job_result.service_time)
+
+    def observe_routing(self, delta):
+        """Fold one job's batch-planner cost into the routing meters.
+
+        ``delta`` is the difference of the executing chip's
+        ``routing_totals`` across the job (host wall-clock seconds and
+        counters; routing cost is host work, not chip virtual time).
+        Jobs that never planned a batch (``plans == 0``) are skipped so
+        the plan-time histogram stays a per-planning-job distribution.
+        """
+        if not delta or not delta.get("plans"):
+            return
+        for key, value in delta.items():
+            if key in self.routing_totals:
+                self.routing_totals[key] += value
+        self.routing_plan_time.observe(delta.get("plan_seconds", 0.0))
 
     @property
     def served(self) -> int:
@@ -131,6 +162,10 @@ class Telemetry:
             "counters": {n: c.value for n, c in self.counters.items()},
             "queue_wait": self.queue_wait.summary(),
             "service_time": self.service_time.summary(),
+            "routing": {
+                **self.routing_totals,
+                "plan_time": self.routing_plan_time.summary(),
+            },
         }
         if fleet is not None:
             stats = fleet.cache_stats()
@@ -187,6 +222,25 @@ class Telemetry:
                 title="latency (fleet virtual time)",
             )
         )
+        routing = snap["routing"]
+        if routing["plans"]:
+            plan_time = routing["plan_time"]
+            sections.append(
+                ascii_table(
+                    ["metric", "value"],
+                    [
+                        ["plans", str(routing["plans"])],
+                        ["cages planned", str(routing["cages_planned"])],
+                        ["planner host time", format_seconds(routing["plan_seconds"])],
+                        ["plan time p99", format_seconds(plan_time["p99"])],
+                        ["fast-path hits", str(routing["fast_path_hits"])],
+                        ["greedy-walk hits", str(routing["greedy_walk_hits"])],
+                        ["frontier steps", str(routing["frontier_steps"])],
+                        ["replans", str(routing["replans"])],
+                    ],
+                    title="batch routing (host time)",
+                )
+            )
         if fleet is not None:
             cache = snap["cache"]
             fleet_snap = snap["fleet"]

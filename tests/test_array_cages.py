@@ -122,6 +122,57 @@ class TestStep:
             manager.step({a.cage_id: (0, 1), b.cage_id: (0, -1)})
 
 
+class TestStepArrays:
+    """The array-native step entry point planners feed directly."""
+
+    def test_matches_dict_step(self):
+        import numpy as np
+
+        a = make_manager()
+        b = make_manager()
+        for manager in (a, b):
+            manager.create((5, 5))
+            manager.create((5, 8))
+        a.step({0: (0, 1), 1: (1, 0)})
+        b.step_arrays(np.array([0, 1]), np.array([[0, 1], [1, 0]]))
+        assert sorted(c.site for c in a.cages) == sorted(c.site for c in b.cages)
+
+    def test_empty_batch_is_noop(self):
+        import numpy as np
+
+        manager = make_manager()
+        manager.create((5, 5))
+        manager.step_arrays(np.array([], dtype=np.int64),
+                            np.empty((0, 2), dtype=np.int64))
+        assert manager.cage_at((5, 5)) is not None
+
+    def test_validation_still_applies(self):
+        import numpy as np
+
+        manager = make_manager(sep=2)
+        a = manager.create((5, 5))
+        b = manager.create((5, 8))
+        with pytest.raises(CageError):
+            manager.step_arrays(
+                np.array([a.cage_id, b.cage_id]),
+                np.array([[0, 1], [0, -1]]),
+            )
+        assert a.site == (5, 5) and b.site == (5, 8)
+
+    def test_large_batch_takes_vector_path(self):
+        """> 8 movers exercises the vectorized validator."""
+        import numpy as np
+
+        manager = make_manager(rows=41, cols=41)
+        cages = tile_cages(manager, spacing=4)
+        movers = [c for c in cages if c.site[0] < 40 and c.site[1] < 40]
+        assert len(movers) > 8
+        ids = np.array([c.cage_id for c in movers])
+        deltas = np.tile([1, 1], (len(movers), 1))
+        manager.step_arrays(ids, deltas)
+        assert all(c.site[0] > 0 and c.site[1] > 0 for c in movers)
+
+
 class TestMerge:
     def test_merge_payloads(self):
         manager = make_manager()

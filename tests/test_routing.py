@@ -15,6 +15,7 @@ from repro.routing import (
     ObstacleMap,
     RoutingError,
     RoutingRequest,
+    WavefrontRouter,
     astar_route,
     chebyshev_heuristic,
     make_requests,
@@ -97,65 +98,81 @@ def assert_plan_valid(plan, min_separation=2):
             assert max(abs(a[0] - b[0]), abs(a[1] - b[1])) <= 1
 
 
+@pytest.fixture(params=[BatchRouter, WavefrontRouter], ids=["astar", "wavefront"])
+def router_cls(request):
+    """Both batch planners must satisfy the same behavioural contract."""
+    return request.param
+
+
 class TestBatchRouter:
-    def test_all_reach_goals(self):
+    def test_all_reach_goals(self, router_cls):
         requests = make_requests(
             [((0, 0), (20, 20)), ((0, 20), (20, 0)), ((10, 0), (10, 28))]
         )
-        plan = BatchRouter(grid()).plan(requests)
+        plan = router_cls(grid()).plan(requests)
         for request in requests:
             assert plan.paths[request.cage_id][-1] == request.goal
 
-    def test_plan_is_conflict_free(self):
+    def test_plan_is_conflict_free(self, router_cls):
         requests = make_requests(
             [((0, 0), (20, 20)), ((0, 20), (20, 0)), ((20, 10), (0, 10)),
              ((10, 0), (10, 28)), ((28, 28), (2, 2))]
         )
-        plan = BatchRouter(grid()).plan(requests)
+        plan = router_cls(grid()).plan(requests)
         assert_plan_valid(plan)
 
-    def test_crossing_swap_requires_maneuver(self):
+    def test_crossing_swap_requires_maneuver(self, router_cls):
         """Two cages exchanging places must detour or wait, never clip."""
         requests = make_requests([((10, 10), (10, 14)), ((10, 14), (10, 10))])
-        plan = BatchRouter(grid()).plan(requests)
+        plan = router_cls(grid()).plan(requests)
         assert_plan_valid(plan)
         assert plan.makespan >= 4
 
-    def test_duplicate_ids_rejected(self):
+    def test_duplicate_ids_rejected(self, router_cls):
         requests = [
             RoutingRequest(0, (0, 0), (5, 5)),
             RoutingRequest(0, (10, 10), (15, 15)),
         ]
         with pytest.raises(RoutingError):
-            BatchRouter(grid()).plan(requests)
+            router_cls(grid()).plan(requests)
 
-    def test_conflicting_goals_rejected(self):
+    def test_conflicting_goals_rejected(self, router_cls):
         requests = make_requests([((0, 0), (5, 5)), ((10, 10), (5, 6))])
         with pytest.raises(RoutingError):
-            BatchRouter(grid()).plan(requests)
+            router_cls(grid()).plan(requests)
 
-    def test_moves_at(self):
+    def test_moves_at(self, router_cls):
         requests = make_requests([((0, 0), (0, 3))])
-        plan = BatchRouter(grid()).plan(requests)
+        plan = router_cls(grid()).plan(requests)
         moves = plan.moves_at(0)
         assert moves == {0: (0, 1)}
 
-    def test_total_moves_counts_non_waits(self):
+    def test_total_moves_counts_non_waits(self, router_cls):
         requests = make_requests([((0, 0), (0, 3)), ((10, 10), (10, 10))])
-        plan = BatchRouter(grid()).plan(requests)
+        plan = router_cls(grid()).plan(requests)
         assert plan.total_moves() == 3
+
+    def test_plan_stats_counters(self, router_cls):
+        requests = make_requests([((0, 0), (0, 5)), ((10, 10), (14, 14))])
+        router = router_cls(grid())
+        plan = router.plan(requests)
+        assert plan.stats["planner"] == router.planner_name
+        assert plan.stats["cages"] == 2
+        assert plan.stats["plan_seconds"] >= 0.0
+        assert plan.stats["replans"] == 0
 
     @given(seed=st.integers(0, 200))
     @settings(max_examples=20, deadline=None)
     def test_random_workload_property(self, seed):
-        """Property: the batch router always produces a valid plan that
+        """Property: both batch routers always produce a valid plan that
         delivers every cage, on random 12-cage workloads."""
         g = ElectrodeGrid(24, 24, um(20))
         requests = random_permutation_workload(g, n_cages=12, seed=seed)
-        plan = BatchRouter(g).plan(requests)
-        assert_plan_valid(plan)
-        for request in requests:
-            assert plan.paths[request.cage_id][-1] == request.goal
+        for cls in (BatchRouter, WavefrontRouter):
+            plan = cls(g).plan(requests)
+            assert_plan_valid(plan)
+            for request in requests:
+                assert plan.paths[request.cage_id][-1] == request.goal
 
 
 class TestGreedyRouter:

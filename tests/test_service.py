@@ -330,6 +330,37 @@ class TestTelemetry:
         for needle in ("job lifecycle", "latency", "cache hit rate", "chip"):
             assert needle in text
 
+    def test_routing_meters_from_simulator_jobs(self):
+        """Batch-planner cost on chip surfaces in the service snapshot."""
+        service = ExecutionService.simulator(ServiceConfig(n_chips=1))
+        routed = (
+            Protocol("routed")
+            .trap("a", (2, 2))
+            .trap("b", (2, 8))
+            .move_many({"a": (8, 2), "b": (8, 8)})
+            .release("a")
+            .release("b")
+        )
+        service.submit(routed)
+        service.drain()
+        routing = service.snapshot()["routing"]
+        assert routing["plans"] >= 1
+        assert routing["cages_planned"] >= 2
+        assert routing["plan_seconds"] > 0.0
+        assert routing["plan_time"]["count"] >= 1
+        assert "batch routing" in service.report()
+
+    def test_routing_meters_absent_without_batch_moves(self):
+        """Dry-run chips never batch-plan: the meters stay zero and the
+        report omits the routing table."""
+        service = dry_service(n_chips=1)
+        service.submit(tiny_protocol())
+        service.drain()
+        routing = service.snapshot()["routing"]
+        assert routing["plans"] == 0
+        assert routing["plan_time"]["count"] == 0
+        assert "batch routing" not in service.report()
+
     def test_percentiles_nearest_rank(self):
         from repro.service import Histogram
 
