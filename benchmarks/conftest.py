@@ -19,6 +19,18 @@ def pytest_addoption(parser):
         default=False,
         help="run the degraded-mode (fault-injection) benchmarks too",
     )
+    parser.addoption(
+        "--wall-clock",
+        action="store_true",
+        default=False,
+        help="run the wall-clock concurrent-tier benchmark too",
+    )
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=8,
+        help="pool size for the wall-clock benchmark (compared to 1)",
+    )
 
 
 @pytest.fixture
@@ -27,6 +39,15 @@ def faults_enabled(request):
     if not request.config.getoption("--faults"):
         pytest.skip("degraded-mode benchmark: enable with --faults")
     return True
+
+
+@pytest.fixture
+def wall_clock_workers(request):
+    """Gate + pool size for the wall-clock concurrent benchmark: opt in
+    with ``--wall-clock``, size the pool with ``--workers N``."""
+    if not request.config.getoption("--wall-clock"):
+        pytest.skip("wall-clock benchmark: enable with --wall-clock")
+    return int(request.config.getoption("--workers"))
 
 
 def report(text):

@@ -1,21 +1,35 @@
 """Serving protocol traffic: the fleet execution service end to end.
 
-Simulates a production serving scenario on top of the paper's chip:
-bursts of mixed-priority protocol jobs arrive at an 8-chip fleet with a
-bounded admission queue; hot protocols hit the per-chip compiled
-program caches (affinity dispatch keeps them pinned), low-priority work
-is shed under overload, and the telemetry report shows the
-throughput/latency/hit-rate picture at the end.
+Simulates a production serving scenario on top of the paper's chip in
+all three serving modes:
+
+1. virtual clock -- the deterministic ``ExecutionService`` reference:
+   bursts of mixed-priority jobs against an 8-chip fleet with a bounded
+   admission queue, affinity dispatch and shed-lowest overload policy;
+2. wall clock -- ``ConcurrentExecutionService`` runs the same traffic
+   on real chip-worker threads with device-latency pacing, so jobs/sec
+   and p50/p99 latency are measured in real seconds;
+3. asyncio -- ``AsyncExecutionService`` streams per-job progress events
+   to a coroutine while backpressure suspends submitters, not the loop.
 
 Run with:  python examples/protocol_serving.py
 """
 
-from repro import Biochip, ExecutionService, JobState, ServiceConfig
+import asyncio
+
+from repro import (
+    AsyncExecutionService,
+    Biochip,
+    ConcurrentConfig,
+    ConcurrentExecutionService,
+    ExecutionService,
+    JobState,
+    ServiceConfig,
+)
 from repro.workloads import bursty_traffic, mixed_priority_traffic
 
 
-def main():
-    grid = Biochip.small_chip().grid
+def virtual_clock_demo(grid):
     service = ExecutionService.dry_run(
         ServiceConfig(
             n_chips=8,
@@ -47,6 +61,54 @@ def main():
 
     print()
     print(service.report())
+
+
+def wall_clock_demo(grid):
+    # time_scale paces each attempt by a fraction of its accounted chip
+    # seconds, emulating device latency: the workers overlap real waits.
+    with ConcurrentExecutionService.dry_run(
+            ConcurrentConfig(n_workers=8, time_scale=0.002),
+            grid=grid) as service:
+        service.submit_many(mixed_priority_traffic(grid, 20, seed=1))
+        results = service.drain()
+        served = sum(r.state is JobState.DONE for r in results)
+        pool = service.snapshot()["pool"]
+        print(f"  {served}/{len(results)} jobs served by "
+              f"{pool['n_workers']} {pool['mode']} workers in "
+              f"{pool['wall_time']:.2f} wall seconds "
+              f"({pool['throughput']:.1f} jobs/s)")
+
+
+async def asyncio_demo(grid):
+    async with AsyncExecutionService.dry_run(
+            ConcurrentConfig(n_workers=4, max_queue_depth=8,
+                             time_scale=0.002),
+            grid=grid) as service:
+        protocols = mixed_priority_traffic(grid, 8, seed=3)
+        # block=True backpressures: the coroutine suspends while the
+        # admission queue is full, the event loop keeps running.
+        handles = [await service.submit(p, priority=pr, block=True)
+                   for p, pr in protocols]
+        n_sense = 0
+        async for event in handles[0].events():
+            n_sense += event["kind"] == "sense"
+        results = await asyncio.gather(*handles)
+        served = sum(r.state is JobState.DONE for r in results)
+        print(f"  {served}/{len(results)} jobs served; first job "
+              f"streamed {n_sense} sense events mid-protocol")
+
+
+def main():
+    grid = Biochip.small_chip().grid
+
+    print("=== virtual clock (deterministic reference) ===")
+    virtual_clock_demo(grid)
+
+    print("\n=== wall clock (threaded chip workers) ===")
+    wall_clock_demo(grid)
+
+    print("\n=== asyncio front end (streaming + backpressure) ===")
+    asyncio.run(asyncio_demo(grid))
 
 
 if __name__ == "__main__":

@@ -50,6 +50,9 @@ from .core import (
 )
 from .faults import FaultInjector, FaultModel, FleetFaultPlan
 from .service import (
+    AsyncExecutionService,
+    ConcurrentConfig,
+    ConcurrentExecutionService,
     ErrorKind,
     ExecutionService,
     JobError,
@@ -60,6 +63,7 @@ from .service import (
 __version__ = "2.0.0"
 
 __all__ = [
+    "AsyncExecutionService",
     "Backend",
     "Biochip",
     "BiochipError",
@@ -68,6 +72,8 @@ __all__ = [
     "CommandSpec",
     "CompileError",
     "CompiledProgram",
+    "ConcurrentConfig",
+    "ConcurrentExecutionService",
     "DryRunBackend",
     "ErrorKind",
     "ExecutionError",

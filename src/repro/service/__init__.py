@@ -28,9 +28,27 @@ Quickstart::
 Hot protocols compile once per chip and then hit the program cache on
 every repeat; the affinity policy keeps each fingerprint pinned to the
 chip that compiled it.
+
+The virtual-clock :class:`ExecutionService` above is the deterministic
+reference tier.  For serving on real time there is the wall-clock tier
+(:mod:`~repro.service.concurrent`): :class:`ConcurrentExecutionService`
+runs the same semantics across thread or process chip workers, and
+:class:`AsyncExecutionService` fronts it with asyncio submission,
+streaming job handles and queue backpressure.
 """
 
 from .cache import CacheStats, ProgramCache, program_key, rebind_program
+from .concurrent import (
+    AsyncExecutionService,
+    AsyncJobHandle,
+    Clock,
+    ConcurrentConfig,
+    ConcurrentExecutionService,
+    ConcurrentJobHandle,
+    FleetClock,
+    SenseTap,
+    WallClock,
+)
 from .fleet import (
     POLICIES,
     AffinityPolicy,
@@ -59,11 +77,18 @@ from .telemetry import Counter, Histogram, Telemetry
 __all__ = [
     "ADMISSION_POLICIES",
     "AffinityPolicy",
+    "AsyncExecutionService",
+    "AsyncJobHandle",
     "CacheStats",
     "ChipHealth",
     "ChipWorker",
+    "Clock",
+    "ConcurrentConfig",
+    "ConcurrentExecutionService",
+    "ConcurrentJobHandle",
     "Counter",
     "DispatchPolicy",
+    "FleetClock",
     "ErrorKind",
     "ExecutionService",
     "Fleet",
@@ -77,8 +102,10 @@ __all__ = [
     "POLICIES",
     "ProgramCache",
     "RoundRobinPolicy",
+    "SenseTap",
     "ServiceConfig",
     "Telemetry",
+    "WallClock",
     "classify_error",
     "make_policy",
     "program_key",

@@ -1,0 +1,1181 @@
+"""Chip workers and the wall-clock concurrent execution service.
+
+The virtual-clock :class:`~repro.service.scheduler.ExecutionService`
+drains jobs on one thread over simulated time -- the deterministic
+behavioural reference.  This module is the tier that serves jobs for
+real: N chip workers, each owning one spawned backend (fault-injected
+when a plan is active) plus its compiled-program cache, pull jobs from
+a shared queue and push attempt outcomes to a completion queue; a
+coordinator thread applies the serving semantics (priority order,
+admission bounds, retry backoff, deadline expiry, telemetry) on a
+monotonic wall clock.
+
+Workers come in two flavours:
+
+* ``mode="thread"`` (default) -- workers are threads.  The numpy
+  ``ArrayState`` core releases the GIL in its hot ops, and on real
+  hardware the chip itself is a device the worker *waits on* (cages
+  move at ~50 um/s), so threads are the natural fit; ``time_scale``
+  emulates that device latency by pacing each attempt to its accounted
+  chip seconds.
+* ``mode="process"`` -- workers are ``multiprocessing`` (spawn)
+  processes; the template chip is pickled once per worker at startup
+  and jobs/results cross the queues pickled.  True host parallelism
+  for CPU-bound simulation at the cost of per-dispatch serialisation.
+
+Fault-tolerance semantics carry over from the virtual tier in wall
+time: a retryable attempt re-queues with exponential backoff (the job
+sits in a delay heap -- the backoff window is charged exactly once,
+never re-slept at dispatch), retries prefer workers that have not
+already failed the job (a bounded bounce back through the coordinator),
+a worker that fails K consecutive retryable attempts quarantines
+*itself* -- it stops pulling, so its queued work drains to the rest of
+the pool -- sleeps out the cooldown, then restarts with a fresh backend
+spawn that preserves the physical defect map and re-seeds the transient
+stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+from ...core.errors import BiochipError, ServiceError
+from ...core.session import Session, sweep_handles
+from ...faults import FaultInjector, FaultModel, FleetFaultPlan
+from ..cache import ProgramCache
+from ..jobs import (
+    ErrorKind,
+    Job,
+    JobError,
+    JobResult,
+    JobState,
+    classify_error,
+)
+from ..telemetry import Telemetry
+from .syncbridge import SenseTap, WallClock
+
+#: Worker execution modes.
+WORKER_MODES = ("thread", "process")
+
+#: Admission behaviours when the queue is at ``max_queue_depth``
+#: (mirrors the virtual tier's).
+ADMISSION_POLICIES = ("reject", "shed-lowest")
+
+
+@dataclass
+class ConcurrentConfig:
+    """Tuning knobs of one :class:`ConcurrentExecutionService`.
+
+    The serving semantics mirror
+    :class:`~repro.service.scheduler.ServiceConfig`, but every duration
+    here is *wall seconds* on the service's monotonic clock -- backoff,
+    timeouts, deadlines and cooldowns are real time, not fleet virtual
+    time.
+
+    Attributes
+    ----------
+    n_workers:
+        Pool size; each worker owns one isolated spawn of the template
+        backend plus its own compiled-program cache.
+    mode:
+        ``"thread"`` (default) or ``"process"`` (multiprocessing
+        spawn; the chip template is pickled once per worker).
+    max_queue_depth:
+        Admission bound on coordinator-queued jobs; None = unbounded.
+        ``submit(block=True)`` suspends the caller on a full queue
+        instead of rejecting -- the backpressure path.
+    admission:
+        ``"reject"`` or ``"shed-lowest"`` when a non-blocking submit
+        finds the queue full.
+    cache_capacity:
+        Per-worker compiled-program cache capacity (None = unbounded).
+    max_retries:
+        Re-queue budget for retryable (transient/timeout) failures.
+    retry_backoff:
+        Base wall-clock backoff [s] before a retry may run; doubles per
+        attempt.
+    job_timeout:
+        Per-attempt wall-time budget [s]; an attempt over it fails
+        TIMEOUT (retryable) and its run is discarded.  None disables.
+    quarantine_after:
+        Consecutive retryable failures that make a worker quarantine
+        itself.  None disables.
+    restart_cooldown:
+        Wall seconds a self-quarantined worker sits out before
+        restarting (fresh spawn, same defect map).  None = it parks
+        until :meth:`ConcurrentExecutionService.restart_worker`.
+    time_scale:
+        Device-latency emulation: each attempt is paced to
+        ``accounted chip seconds * time_scale`` of real time (the
+        worker sleeps the remainder, as it would wait on hardware).
+        None/0 disables pacing -- attempts run as fast as the host
+        simulates.
+    poll_interval:
+        Queue-poll granularity [s] for workers and the coordinator;
+        bounds shutdown/quarantine responsiveness.
+    mp_context:
+        ``multiprocessing`` start method for ``mode="process"``.
+    """
+
+    n_workers: int = 4
+    mode: str = "thread"
+    max_queue_depth: int | None = None
+    admission: str = "reject"
+    cache_capacity: int | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    job_timeout: float | None = None
+    quarantine_after: int | None = 3
+    restart_cooldown: float | None = 1.0
+    time_scale: float | None = None
+    poll_interval: float = 0.02
+    mp_context: str = "spawn"
+
+    def __post_init__(self):
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.mode not in WORKER_MODES:
+            raise ValueError(
+                f"mode must be one of {WORKER_MODES}, got {self.mode!r}"
+            )
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0.0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0.0:
+            raise ValueError(
+                f"job_timeout must be positive, got {self.job_timeout}"
+            )
+        if self.quarantine_after is not None and self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+        if self.restart_cooldown is not None and self.restart_cooldown < 0.0:
+            raise ValueError(
+                f"restart_cooldown must be >= 0, got {self.restart_cooldown}"
+            )
+        if self.poll_interval <= 0.0:
+            raise ValueError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+
+
+class _WorkerRuntime:
+    """One chip worker's execution loop -- shared by both modes.
+
+    Owns the spawned backend (wrapped in a :class:`FaultInjector` when
+    a plan is active, and always in a :class:`SenseTap` so sense
+    outcomes stream to the coordinator), the worker's program cache,
+    and the worker-local health state: the consecutive-retryable-
+    failure streak, self-quarantine, cooldown sleep and restart all
+    happen *inside* the worker, which is what makes the semantics
+    identical for threads and processes -- no control channel beyond
+    the per-worker restart event is needed.
+    """
+
+    def __init__(self, worker_id, template, registry, plan, config,
+                 clock, ready_q, done_q, stop_event, restart_event,
+                 strip_cause=False):
+        self.worker_id = worker_id
+        self.template = template
+        self.registry = registry
+        self.plan = plan
+        self.config = config
+        self.clock = clock
+        self.ready_q = ready_q
+        self.done_q = done_q
+        self.stop_event = stop_event
+        self.restart_event = restart_event
+        self.strip_cause = strip_cause
+        self.session = None
+        self.cache = ProgramCache(capacity=config.cache_capacity)
+        self.injector = None
+        self.restarts = 0
+        self.streak = 0
+        self._current_job_id = None
+
+    # -- chip lifecycle -----------------------------------------------------
+
+    def _build_session(self):
+        """Spawn a fresh chip and wrap it (faults, sense tap)."""
+        backend = self.template.spawn()
+        self.injector = None
+        if self.plan is not None:
+            grid = backend.grid
+            model = self.plan.model_for(
+                self.worker_id, (grid.rows, grid.cols)
+            )
+            backend = FaultInjector(
+                backend, model,
+                seed=(self.plan.seed, self.worker_id, self.restarts),
+            )
+            self.injector = backend
+        self.session = Session(
+            SenseTap(backend, self._on_sense), registry=self.registry
+        )
+
+    def _fault_counters(self) -> dict:
+        return dict(self.injector.counters) if self.injector else {}
+
+    def _restart(self) -> dict:
+        """Power-cycle this worker's chip; returns the retired fault
+        counters of the old incarnation."""
+        retired = self._fault_counters()
+        self.restarts += 1
+        self.streak = 0
+        self.cache.clear()  # chip memory is wiped with the chip
+        self._build_session()
+        return retired
+
+    def _on_sense(self, sense_result):
+        if self._current_job_id is not None:
+            self._send(
+                ("sense", self.worker_id, self._current_job_id, sense_result)
+            )
+
+    def _send(self, message):
+        self.done_q.put(message)
+
+    # -- the worker loop ----------------------------------------------------
+
+    def run(self):
+        try:
+            self._build_session()
+        except Exception as exc:  # noqa: BLE001 -- a worker that cannot
+            # even spawn must report and die, not hang the pool
+            self._send(("worker_error", self.worker_id, repr(exc)))
+            return
+        poll = self.config.poll_interval
+        while not self.stop_event.is_set():
+            if self.restart_event.is_set():
+                self.restart_event.clear()
+                retired = self._restart()
+                self._send(
+                    ("restarted", self.worker_id, self.clock.now(), retired)
+                )
+            try:
+                item = self.ready_q.get(timeout=poll)
+            except queue.Empty:
+                continue
+            if item is None:  # graceful-shutdown sentinel
+                break
+            job, allow_bounce = item
+            # Steering: prefer hardware the job has never failed on.  A
+            # bounce sends the job back through the coordinator (which
+            # bounds bounces), so another worker picks it up.
+            if allow_bounce and self.worker_id in job.tried_chips:
+                self._send(("bounced", self.worker_id, job.job_id))
+                continue
+            now = self.clock.now()
+            if (job.deadline is not None
+                    and now - job.submitted_at > job.deadline):
+                self._send((
+                    "outcome", self.worker_id, job.job_id,
+                    {"expired": True, "started_at": now, "finished_at": now,
+                     "faults": self._fault_counters()},
+                ))
+                continue
+            self._send(("started", self.worker_id, job.job_id, now))
+            outcome = self._attempt(job)
+            error = outcome["error"]
+            if error is None:
+                self.streak = 0
+            elif error.retryable:
+                self.streak += 1
+            self._send(("outcome", self.worker_id, job.job_id, outcome))
+            threshold = self.config.quarantine_after
+            if threshold is not None and self.streak >= threshold:
+                self._quarantine_and_recover()
+        self._send(("stopped", self.worker_id, self._fault_counters()))
+
+    def _attempt(self, job) -> dict:
+        """Run one attempt of ``job`` on this worker's chip."""
+        started = self.clock.now()
+        backend = self.session.backend
+        chip_before = backend.elapsed
+        run = None
+        error = None
+        cache_hit = False
+        handles = {}
+        self._current_job_id = job.job_id
+        try:
+            program, cache_hit = self.cache.get_or_compile(
+                job.protocol, self.session, registry=self.registry,
+                fingerprint=job.fingerprint,
+            )
+            run = self.session.run(program, handles=handles)
+        except BiochipError as exc:
+            error = classify_error(
+                exc, chip_id=self.worker_id, attempts=job.attempts + 1
+            )
+        except Exception as exc:  # noqa: BLE001 -- same contract as the
+            # virtual tier: any dispatch bug terminalises the job
+            # instead of escaping with its cages leaked
+            error = JobError(
+                kind=ErrorKind.PERMANENT,
+                message=f"unexpected {type(exc).__name__}: {exc}",
+                cause=exc,
+                chip_id=self.worker_id,
+                attempts=job.attempts + 1,
+            )
+        finally:
+            # leftover cages would poison this chip for every later job
+            sweep_handles(backend, handles)
+            self._current_job_id = None
+        chip_seconds = backend.elapsed - chip_before
+        scale = self.config.time_scale
+        if scale:
+            # Device pacing: on real hardware the attempt *takes* its
+            # chip time; sleep out whatever simulating it didn't spend.
+            target = chip_seconds * scale
+            spent = self.clock.now() - started
+            if target > spent:
+                time.sleep(target - spent)
+        finished = self.clock.now()
+        budget = self.config.job_timeout
+        if error is None and budget is not None and finished - started > budget:
+            error = JobError(
+                kind=ErrorKind.TIMEOUT,
+                message=(
+                    f"attempt took {finished - started:.3f}s, over the "
+                    f"{budget:.3f}s job timeout"
+                ),
+                chip_id=self.worker_id,
+                attempts=job.attempts + 1,
+            )
+            run = None  # past-budget results are discarded, not trusted
+        if error is not None and self.strip_cause:
+            # exception objects are not reliably picklable across the
+            # process boundary; the structured JobError fields are
+            error.cause = None
+        return {
+            "error": error,
+            "run": run,
+            "cache_hit": cache_hit,
+            "started_at": started,
+            "finished_at": finished,
+            "chip_seconds": chip_seconds,
+            "expired": False,
+            "faults": self._fault_counters(),
+        }
+
+    def _quarantine_and_recover(self):
+        """Self-quarantine: stop pulling, wait out the cooldown (or a
+        manual restart), then power-cycle and rejoin the pool."""
+        self._send(("quarantined", self.worker_id, self.clock.now()))
+        cooldown = self.config.restart_cooldown
+        deadline = (
+            self.clock.now() + cooldown if cooldown is not None else None
+        )
+        while not self.stop_event.is_set():
+            if self.restart_event.is_set():
+                self.restart_event.clear()
+                break
+            if deadline is not None and self.clock.now() >= deadline:
+                break
+            time.sleep(self.config.poll_interval)
+        if self.stop_event.is_set():
+            return
+        retired = self._restart()
+        self._send(("restarted", self.worker_id, self.clock.now(), retired))
+
+
+def _process_worker_main(worker_id, template, registry, plan, config,
+                         epoch, ready_q, done_q, stop_event, restart_event):
+    """Entry point of one spawned worker process.
+
+    The template backend arrives pickled exactly once (as this
+    function's argument); the worker spawns its chip from it locally.
+    The wall-clock epoch is shared so deadlines and timestamps line up
+    with the parent's timeline.
+    """
+    runtime = _WorkerRuntime(
+        worker_id, template, registry, plan, config,
+        WallClock(epoch=epoch), ready_q, done_q, stop_event, restart_event,
+        strip_cause=True,
+    )
+    runtime.run()
+
+
+class ConcurrentJobHandle:
+    """Future-style view of a job submitted to the concurrent tier.
+
+    Unlike the virtual tier's handle, waiting never drives a scheduler
+    -- the worker pool runs the job regardless; :meth:`wait` just
+    blocks the calling thread on the terminal event.  Progress events
+    (queued / started / sense / retrying / terminal) can be observed
+    via :meth:`subscribe`; late subscribers get the full event history
+    replayed first, so no event is ever lost to a race.
+    """
+
+    #: Event kinds that end a job's stream.
+    TERMINAL_KINDS = ("done", "failed", "rejected", "shed", "expired")
+
+    def __init__(self, job):
+        self.job = job
+        self._result = None
+        self._done_event = threading.Event()
+        self._lock = threading.Lock()
+        self._events = []
+        self._subscribers = []
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
+
+    @property
+    def state(self) -> JobState:
+        return self.job.state
+
+    def done(self) -> bool:
+        return self._done_event.is_set()
+
+    def poll(self) -> JobState:
+        return self.job.state
+
+    def wait(self, timeout=None) -> JobResult:
+        """Block until the job is terminal; raises
+        :class:`~repro.core.errors.ServiceError` on timeout."""
+        if not self._done_event.wait(timeout):
+            raise ServiceError(
+                f"job {self.job_id} not terminal within {timeout}s "
+                f"(state {self.job.state.value})"
+            )
+        return self._result
+
+    def result(self, wait=True, timeout=None) -> JobResult:
+        if not self.done():
+            if not wait:
+                raise ServiceError(
+                    f"job {self.job_id} is still {self.job.state.value}"
+                )
+            return self.wait(timeout)
+        return self._result
+
+    def events(self) -> list:
+        """The event history so far (a copy)."""
+        with self._lock:
+            return list(self._events)
+
+    def subscribe(self, callback):
+        """Register ``callback(event_dict)``; the history is replayed
+        to it first (under the lock, so no event is missed/reordered).
+        Callbacks run on coordinator/worker threads -- they must be
+        quick and thread-safe."""
+        with self._lock:
+            history = list(self._events)
+            self._subscribers.append(callback)
+        for event in history:
+            callback(event)
+
+    def _emit(self, event):
+        with self._lock:
+            self._events.append(event)
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(event)
+
+    def _resolve(self, result: JobResult):
+        self._result = result
+        kind = (
+            result.state.value
+            if result.state.value in self.TERMINAL_KINDS else "done"
+        )
+        self._emit({"kind": kind, "result": result})
+        self._done_event.set()
+
+
+class _WorkerSlot:
+    """Coordinator-side view of one worker: handle + health + meters."""
+
+    def __init__(self, worker_id, runner, restart_event):
+        self.worker_id = worker_id
+        self.runner = runner  # Thread or Process
+        self.restart_event = restart_event
+        self.health = "healthy"   # healthy | quarantined | stopped | dead
+        self.jobs_done = 0
+        self.busy_time = 0.0      # wall seconds across attempts
+        self.restarts = 0
+        self.quarantined_at = None
+        self.current_faults = {}
+        self.retired_faults = {}
+        self.current_job_id = None  # job started but not yet resolved
+        self.dead_strikes = 0       # consecutive liveness-check misses
+
+    @property
+    def accepting(self) -> bool:
+        return self.health == "healthy"
+
+    def retire_faults(self, counters):
+        for name, value in counters.items():
+            self.retired_faults[name] = (
+                self.retired_faults.get(name, 0) + value
+            )
+        self.current_faults = {}
+
+    def fault_totals(self) -> dict:
+        totals = dict(self.retired_faults)
+        for name, value in self.current_faults.items():
+            totals[name] = totals.get(name, 0) + value
+        return totals
+
+
+class ConcurrentExecutionService:
+    """Serve protocol jobs across a pool of wall-clock chip workers.
+
+    The API mirrors :class:`~repro.service.scheduler.ExecutionService`
+    (submit / submit_many / drain / snapshot / report and the same
+    admission, retry and quarantine semantics) but everything runs for
+    real: submissions are thread-safe, jobs execute on worker threads
+    or processes as they are submitted, and all durations are wall
+    seconds on one monotonic clock.  ``submit(block=True)`` suspends
+    the caller while the admission queue is full -- the backpressure
+    path the asyncio front end builds on.
+
+    Use as a context manager (or call :meth:`close`) so workers are
+    joined deterministically::
+
+        with ConcurrentExecutionService.dry_run(
+                ConcurrentConfig(n_workers=8)) as service:
+            handles = service.submit_many(protocols)
+            results = service.drain()
+    """
+
+    _UNSERVED_MESSAGES = {
+        JobState.REJECTED: "rejected at admission: queue full",
+        JobState.SHED: "shed from the queue for a higher-priority job",
+        JobState.EXPIRED: "deadline expired before a worker was free",
+    }
+
+    def __init__(self, template_backend, config: ConcurrentConfig | None = None,
+                 registry=None, faults=None):
+        self.config = config or ConcurrentConfig()
+        self.registry = registry
+        self.clock = WallClock()
+        self.telemetry = Telemetry()
+        if isinstance(faults, FaultModel):
+            faults = FleetFaultPlan(
+                models={i: faults for i in range(self.config.n_workers)}
+            )
+        self._plan = faults
+        # -- coordination state (all under _lock) --
+        self._lock = threading.RLock()
+        self._capacity = threading.Condition(self._lock)
+        self._terminal = threading.Condition(self._lock)
+        self._heap = []          # (sort_key, Job) priority queue
+        self._queued_count = 0   # QUEUED jobs the coordinator holds
+        self._delayed = []       # (not_before, job_id, Job) backoff heap
+        self._inflight = {}      # job_id -> Job handed to the pool
+        self._handles = {}       # job_id -> handle, dropped on resolve
+        self._results = []       # terminal results pending drain()
+        self._outstanding = 0    # submitted jobs not yet terminal
+        self._bounces = {}       # job_id -> steering bounces so far
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._next_id = 0
+        self._closed = False
+        self._pump_stop = False
+        # -- the pool --
+        n = self.config.n_workers
+        if self.config.mode == "process":
+            import multiprocessing
+
+            ctx = multiprocessing.get_context(self.config.mp_context)
+            self._ready_q = ctx.Queue(maxsize=n)
+            self._done_q = ctx.Queue()
+            self._stop_event = ctx.Event()
+            restart_events = [ctx.Event() for __ in range(n)]
+            runners = [
+                ctx.Process(
+                    target=_process_worker_main,
+                    args=(i, template_backend, registry, self._plan,
+                          self.config, self.clock.epoch, self._ready_q,
+                          self._done_q, self._stop_event, restart_events[i]),
+                    daemon=True,
+                    name=f"chip-worker-{i}",
+                )
+                for i in range(n)
+            ]
+            self._runtimes = None  # live in the children
+        else:
+            self._ready_q = queue.Queue(maxsize=n)
+            self._done_q = queue.Queue()
+            self._stop_event = threading.Event()
+            restart_events = [threading.Event() for __ in range(n)]
+            self._runtimes = [
+                _WorkerRuntime(
+                    i, template_backend, registry, self._plan, self.config,
+                    self.clock, self._ready_q, self._done_q,
+                    self._stop_event, restart_events[i],
+                )
+                for i in range(n)
+            ]
+            runners = [
+                threading.Thread(
+                    target=runtime.run, daemon=True,
+                    name=f"chip-worker-{runtime.worker_id}",
+                )
+                for runtime in self._runtimes
+            ]
+        self._workers = {
+            i: _WorkerSlot(i, runners[i], restart_events[i]) for i in range(n)
+        }
+        for runner in runners:
+            runner.start()
+        self._pump = threading.Thread(
+            target=self._pump_loop, daemon=True, name="service-pump"
+        )
+        self._pump.start()
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def simulator(cls, config=None, chip=None, registry=None, faults=None):
+        """A concurrent service whose chips are physical simulators."""
+        from ...core.backend import SimulatorBackend
+        from ...core.platform import Biochip
+
+        chip = chip if chip is not None else Biochip.small_chip()
+        return cls(SimulatorBackend(chip), config=config, registry=registry,
+                   faults=faults)
+
+    @classmethod
+    def dry_run(cls, config=None, registry=None, faults=None,
+                **backend_kwargs):
+        """A concurrent service on time/geometry-only chips."""
+        from ...core.backend import DryRunBackend
+
+        return cls(DryRunBackend(**backend_kwargs), config=config,
+                   registry=registry, faults=faults)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close(drain=exc_type is None)
+
+    def close(self, drain=True, timeout=60.0):
+        """Stop the pool.  With ``drain=True`` every submitted job
+        finishes first; otherwise still-queued jobs resolve REJECTED
+        (in-flight attempts are always allowed to finish -- a chip is
+        never yanked mid-protocol)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._capacity.notify_all()
+            if not drain:
+                for job in self._drop_queued_jobs():
+                    self._finish_unserved(job, JobState.REJECTED, "rejected",
+                                          "service shut down")
+        self._await_outstanding(timeout)
+        for __ in self._workers:
+            try:
+                self._ready_q.put_nowait(None)  # one sentinel per worker
+            except queue.Full:
+                break
+        deadline = time.monotonic() + timeout
+        for slot in self._workers.values():
+            slot.runner.join(max(0.1, deadline - time.monotonic()))
+        self._stop_event.set()  # hard stop for anything still looping
+        for slot in self._workers.values():
+            if slot.runner.is_alive():
+                slot.runner.join(1.0)
+                if hasattr(slot.runner, "terminate") and slot.runner.is_alive():
+                    slot.runner.terminate()
+        with self._lock:
+            self._pump_stop = True
+        self._pump.join(timeout=5.0)
+
+    def _drop_queued_jobs(self):
+        """Pull every coordinator-held QUEUED job (heap + delay heap)."""
+        dropped = [
+            job for __, job in self._heap if job.state is JobState.QUEUED
+        ]
+        dropped += [job for __, __, job in self._delayed]
+        self._heap.clear()
+        self._delayed.clear()
+        self._queued_count = 0
+        return dropped
+
+    def _await_outstanding(self, timeout):
+        with self._lock:
+            deadline = time.monotonic() + timeout
+            while self._outstanding > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    raise ServiceError(
+                        f"{self._outstanding} jobs still not terminal "
+                        f"after {timeout}s"
+                    )
+                self._terminal.wait(remaining)
+
+    # -- submission / admission ---------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Wall seconds since the service started."""
+        return self.clock.now()
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs admitted and still waiting for a worker."""
+        with self._lock:
+            return self._queued_count + len(self._delayed)
+
+    def submit(self, protocol, priority=0, deadline=None, block=False,
+               timeout=None) -> ConcurrentJobHandle:
+        """Admit one job; returns its handle immediately.
+
+        With ``block=True`` a full admission queue *suspends* the
+        caller (backpressure) until capacity frees or ``timeout`` wall
+        seconds pass, instead of rejecting; otherwise admission
+        follows the configured policy exactly like the virtual tier
+        (a refused job comes back with a terminal REJECTED handle --
+        submission never raises for admission decisions).
+        """
+        fingerprint = protocol.fingerprint(registry=self.registry)
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            if block:
+                limit = self.config.max_queue_depth
+                end = None if timeout is None else time.monotonic() + timeout
+                while (limit is not None and self._queued_count >= limit
+                        and not self._closed):
+                    remaining = (
+                        None if end is None else end - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0.0:
+                        break  # fall through to normal admission (rejects)
+                    self._capacity.wait(remaining)
+                if self._closed:
+                    raise ServiceError("service closed while waiting to submit")
+            job = Job(
+                protocol=protocol,
+                job_id=self._next_id,
+                priority=priority,
+                deadline=deadline,
+                submitted_at=self.clock.now(),
+                fingerprint=fingerprint,
+            )
+            self._next_id += 1
+            handle = ConcurrentJobHandle(job)
+            self._handles[job.job_id] = handle
+            self._outstanding += 1
+            self.telemetry.count("submitted")
+            if not self._admit(job):
+                self._finish_unserved(job, JobState.REJECTED, "rejected")
+                return handle
+            heapq.heappush(self._heap, (job.sort_key(), job))
+            self._queued_count += 1
+            handle._emit({"kind": "queued", "t": job.submitted_at})
+            self._refill()
+        return handle
+
+    def submit_many(self, jobs, block=False) -> list:
+        """Submit a batch; items are protocols or ``(protocol,
+        priority[, deadline])`` tuples.  Handles in submission order."""
+        handles = []
+        for item in jobs:
+            if isinstance(item, tuple):
+                handles.append(self.submit(*item, block=block))
+            else:
+                handles.append(self.submit(item, block=block))
+        return handles
+
+    def _admit(self, job) -> bool:
+        """Apply the queue bound (caller holds the lock)."""
+        limit = self.config.max_queue_depth
+        if limit is None or self._queued_count < limit:
+            return True
+        if self.config.admission == "reject":
+            return False
+        queued = [j for __, j in self._heap if j.state is JobState.QUEUED]
+        if not queued:
+            return False
+        weakest = min(queued, key=lambda j: (j.priority, -j.job_id))
+        if job.priority <= weakest.priority:
+            return False
+        self._finish_unserved(weakest, JobState.SHED, "shed")
+        self._queued_count -= 1  # lazily removed from the heap later
+        return True
+
+    def _finish_unserved(self, job, state, counter, message=None):
+        job.state = state
+        self.telemetry.count(counter)
+        result = JobResult(
+            job_id=job.job_id,
+            state=state,
+            protocol_name=getattr(job.protocol, "name", ""),
+            error=JobError(
+                kind=ErrorKind.REJECTED,
+                message=message or self._UNSERVED_MESSAGES[state],
+                chip_id=job.last_chip,
+                attempts=job.attempts,
+            ),
+            submitted_at=job.submitted_at,
+            started_at=job.submitted_at,
+            finished_at=job.submitted_at,
+            attempts=job.attempts,
+        )
+        self._resolve(job, result)
+
+    def _resolve(self, job, result):
+        """Terminalise ``job`` (caller holds the lock)."""
+        handle = self._handles.pop(job.job_id)
+        self._bounces.pop(job.job_id, None)
+        self._outstanding -= 1
+        self._results.append(result)
+        handle._resolve(result)
+        self._terminal.notify_all()
+        self._capacity.notify_all()
+
+    # -- the coordinator ----------------------------------------------------
+
+    def _pump_loop(self):
+        poll = self.config.poll_interval
+        last_liveness = 0.0
+        while True:
+            timeout = poll
+            with self._lock:
+                if self._pump_stop:
+                    return
+                if self._delayed:
+                    due = self._delayed[0][0] - self.clock.now()
+                    timeout = max(0.001, min(poll, due))
+            try:
+                message = self._done_q.get(timeout=timeout)
+            except queue.Empty:
+                message = None
+            with self._lock:
+                if message is not None:
+                    self._handle_message(message)
+                while True:  # drain whatever else arrived
+                    try:
+                        self._handle_message(self._done_q.get_nowait())
+                    except queue.Empty:
+                        break
+                self._release_due_retries()
+                now = self.clock.now()
+                if now - last_liveness >= 1.0:
+                    last_liveness = now
+                    self._check_worker_liveness()
+                self._refill()
+
+    def _check_worker_liveness(self):
+        """Detect workers that died without a parting message (a
+        killed process, a spawn that crashed at import) so their jobs
+        and the drain() waiters don't hang.  Two consecutive misses
+        with no message in between are required -- a worker's final
+        messages can still be in flight when it exits."""
+        for slot in self._workers.values():
+            if slot.health in ("stopped", "dead"):
+                continue
+            if slot.runner.is_alive():
+                slot.dead_strikes = 0
+                continue
+            slot.dead_strikes += 1
+            if slot.dead_strikes >= 2:
+                self._mark_worker_dead(
+                    slot.worker_id, "worker exited unexpectedly"
+                )
+
+    def _mark_worker_dead(self, worker_id, detail):
+        """Terminal bookkeeping for a worker that will never serve
+        again (caller holds the lock)."""
+        slot = self._workers[worker_id]
+        slot.health = "dead"
+        job_id = slot.current_job_id
+        slot.current_job_id = None
+        if job_id is not None and job_id in self._inflight:
+            # Its in-flight attempt can never report an outcome; treat
+            # the death as a retryable chip failure of that attempt.
+            self._handle_outcome(worker_id, job_id, {
+                "error": JobError(
+                    kind=ErrorKind.TRANSIENT,
+                    message=f"worker {worker_id} died mid-attempt: {detail}",
+                    chip_id=worker_id,
+                    attempts=self._inflight[job_id].attempts + 1,
+                ),
+                "run": None,
+                "cache_hit": False,
+                "started_at": self.clock.now(),
+                "finished_at": self.clock.now(),
+                "expired": False,
+                "faults": {},
+            })
+        if self._accepting_count() == 0:
+            # No worker will ever serve again: fail everything the
+            # coordinator holds instead of letting waiters hang.
+            stranded = self._drop_queued_jobs()
+            stranded += list(self._inflight.values())
+            self._inflight.clear()
+            for job in stranded:
+                self._finish_unserved(
+                    job, JobState.REJECTED, "rejected",
+                    f"no live workers ({detail})",
+                )
+
+    def _release_due_retries(self):
+        now = self.clock.now()
+        while self._delayed and self._delayed[0][0] <= now:
+            __, __, job = heapq.heappop(self._delayed)
+            heapq.heappush(self._heap, (job.sort_key(), job))
+            self._queued_count += 1
+
+    def _accepting_count(self) -> int:
+        return sum(1 for slot in self._workers.values() if slot.accepting)
+
+    def _refill(self):
+        """Feed the shared ready queue from the priority heap."""
+        while self._heap:
+            if self._ready_q.full():
+                return
+            __, job = heapq.heappop(self._heap)
+            if job.state is not JobState.QUEUED:
+                continue  # shed after enqueue
+            allow_bounce = bool(
+                job.tried_chips
+                and self._bounces.get(job.job_id, 0) < len(self._workers)
+                and self._accepting_count() > 1
+            )
+            try:
+                self._ready_q.put_nowait((job, allow_bounce))
+            except queue.Full:
+                heapq.heappush(self._heap, (job.sort_key(), job))
+                return
+            self._queued_count -= 1
+            self._inflight[job.job_id] = job
+            self._capacity.notify_all()
+
+    def _handle_message(self, message):
+        kind = message[0]
+        self._workers[message[1]].dead_strikes = 0  # it just spoke
+        if kind == "started":
+            __, worker_id, job_id, t = message
+            job = self._inflight.get(job_id)
+            handle = self._handles.get(job_id)
+            self._workers[worker_id].current_job_id = job_id
+            if job is not None:
+                job.state = JobState.RUNNING
+            if handle is not None:
+                handle._emit({"kind": "started", "worker": worker_id, "t": t})
+        elif kind == "sense":
+            __, worker_id, job_id, sense_result = message
+            handle = self._handles.get(job_id)
+            if handle is not None:
+                handle._emit({
+                    "kind": "sense", "worker": worker_id,
+                    "sense": sense_result, "t": self.clock.now(),
+                })
+        elif kind == "bounced":
+            __, worker_id, job_id = message
+            job = self._inflight.pop(job_id, None)
+            if job is not None:
+                self._bounces[job_id] = self._bounces.get(job_id, 0) + 1
+                heapq.heappush(self._heap, (job.sort_key(), job))
+                self._queued_count += 1
+        elif kind == "outcome":
+            __, worker_id, job_id, outcome = message
+            self._handle_outcome(worker_id, job_id, outcome)
+        elif kind == "quarantined":
+            __, worker_id, t = message
+            slot = self._workers[worker_id]
+            slot.health = "quarantined"
+            slot.quarantined_at = t
+            self.telemetry.count("quarantined")
+        elif kind == "restarted":
+            __, worker_id, t, retired = message
+            slot = self._workers[worker_id]
+            slot.retire_faults(retired)
+            slot.health = "healthy"
+            slot.restarts += 1
+            slot.quarantined_at = None
+            self.telemetry.count("restarted")
+        elif kind == "stopped":
+            __, worker_id, counters = message
+            slot = self._workers[worker_id]
+            slot.current_faults = counters
+            slot.health = "stopped"
+        elif kind == "worker_error":
+            __, worker_id, detail = message
+            self._mark_worker_dead(worker_id, detail)
+
+    def _handle_outcome(self, worker_id, job_id, outcome):
+        job = self._inflight.pop(job_id, None)
+        if job is None:
+            return
+        slot = self._workers[worker_id]
+        if slot.current_job_id == job_id:
+            slot.current_job_id = None
+        if outcome.get("faults"):
+            slot.current_faults = outcome["faults"]
+        if outcome.get("expired"):
+            self._finish_unserved(job, JobState.EXPIRED, "expired")
+            return
+        slot.jobs_done += 1
+        slot.busy_time += outcome["finished_at"] - outcome["started_at"]
+        if outcome["cache_hit"]:
+            self._cache_hits += 1
+        else:
+            self._cache_misses += 1
+        error = outcome["error"]
+        if job.attempts > 0 and worker_id != job.last_chip:
+            self.telemetry.count("migrated")
+        if error is not None and error.kind is ErrorKind.TIMEOUT:
+            self.telemetry.count("timeout")
+        if (error is not None and error.retryable
+                and job.attempts < self.config.max_retries):
+            job.attempts += 1
+            job.last_chip = worker_id
+            job.tried_chips.add(worker_id)
+            backoff = (
+                self.config.retry_backoff * (2 ** (job.attempts - 1))
+            )
+            job.not_before = self.clock.now() + backoff
+            job.state = JobState.QUEUED
+            heapq.heappush(
+                self._delayed, (job.not_before, job.job_id, job)
+            )
+            self.telemetry.count("retried")
+            handle = self._handles.get(job_id)
+            if handle is not None:
+                handle._emit({
+                    "kind": "retrying", "worker": worker_id,
+                    "attempts": job.attempts, "not_before": job.not_before,
+                    "error": str(error), "t": self.clock.now(),
+                })
+            return
+        state = JobState.DONE if error is None else JobState.FAILED
+        job.state = state
+        self.telemetry.count("completed" if error is None else "failed")
+        result = JobResult(
+            job_id=job.job_id,
+            state=state,
+            protocol_name=getattr(job.protocol, "name", ""),
+            run=outcome["run"],
+            error=error,
+            chip_id=worker_id,
+            cache_hit=outcome["cache_hit"],
+            submitted_at=job.submitted_at,
+            started_at=outcome["started_at"],
+            finished_at=outcome["finished_at"],
+            attempts=job.attempts + 1,
+        )
+        self.telemetry.observe_served(result)
+        self._resolve(job, result)
+
+    # -- draining / worker control ------------------------------------------
+
+    def drain(self, timeout=300.0) -> list:
+        """Block until every submitted job is terminal; returns the
+        results that went terminal since the last drain (completion
+        order)."""
+        self._await_outstanding(timeout)
+        with self._lock:
+            results, self._results = self._results, []
+        return results
+
+    def restart_worker(self, worker_id):
+        """Request a manual power-cycle of one worker (it restarts
+        between jobs, or immediately if parked in quarantine)."""
+        self._workers[worker_id].restart_event.set()
+
+    # -- observability ------------------------------------------------------
+
+    def fault_counters(self) -> dict:
+        """Faults injected pool-wide, including restarted workers."""
+        with self._lock:
+            totals = {}
+            for slot in self._workers.values():
+                for name, value in slot.fault_totals().items():
+                    totals[name] = totals.get(name, 0) + value
+            return totals
+
+    def snapshot(self) -> dict:
+        """JSON-ready dict of counters, wall latencies, and the pool."""
+        snap = self.telemetry.snapshot()
+        now = self.clock.now()
+        with self._lock:
+            served = self.telemetry.served
+            hits, misses = self._cache_hits, self._cache_misses
+            snap["cache"] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            }
+            snap["pool"] = {
+                "mode": self.config.mode,
+                "n_workers": len(self._workers),
+                "wall_time": now,
+                "throughput": served / now if now > 0.0 else 0.0,
+                "queue_depth": self._queued_count,
+                "delayed": len(self._delayed),
+                "inflight": len(self._inflight),
+                "outstanding": self._outstanding,
+                "utilization": {
+                    slot.worker_id: (
+                        slot.busy_time / now if now > 0.0 else 0.0
+                    )
+                    for slot in self._workers.values()
+                },
+                "jobs_per_worker": {
+                    slot.worker_id: slot.jobs_done
+                    for slot in self._workers.values()
+                },
+                "health": {
+                    slot.worker_id: slot.health
+                    for slot in self._workers.values()
+                },
+                "restarts": {
+                    slot.worker_id: slot.restarts
+                    for slot in self._workers.values()
+                },
+            }
+            if self._plan is not None:
+                snap["faults"] = self.fault_counters()
+        return snap
+
+    def report(self) -> str:
+        """Human-readable pool telemetry."""
+        from ...analysis import ascii_table, format_seconds
+
+        snap = self.snapshot()
+        pool = snap["pool"]
+        sections = [self.telemetry.report()]
+        sections.append(
+            ascii_table(
+                ["worker", "jobs", "utilization", "health", "restarts"],
+                [
+                    [str(worker_id),
+                     str(pool["jobs_per_worker"][worker_id]),
+                     f"{pool['utilization'][worker_id]:.0%}",
+                     pool["health"][worker_id],
+                     str(pool["restarts"][worker_id])]
+                    for worker_id in sorted(pool["utilization"])
+                ],
+                title=(
+                    f"pool: {pool['n_workers']} {pool['mode']} workers, "
+                    f"{pool['throughput']:.2f} jobs/s over "
+                    f"{format_seconds(pool['wall_time'])} wall; "
+                    f"cache hit rate {snap['cache']['hit_rate']:.0%} "
+                    f"({snap['cache']['hits']}/"
+                    f"{snap['cache']['hits'] + snap['cache']['misses']})"
+                ),
+            )
+        )
+        return "\n\n".join(sections)

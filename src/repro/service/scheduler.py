@@ -36,6 +36,7 @@ from ..core.errors import BiochipError, ServiceError
 from ..core.platform import Biochip
 from ..core.session import Session, sweep_handles
 from ..faults import FaultInjector, FaultModel, FleetFaultPlan
+from .concurrent.syncbridge import FleetClock
 from .fleet import ChipHealth, Fleet, make_policy
 from .jobs import (
     ErrorKind,
@@ -138,7 +139,7 @@ class ExecutionService:
     """Serve a stream of protocol jobs across a fleet of chips."""
 
     def __init__(self, template_backend, config: ServiceConfig | None = None,
-                 registry=None, faults=None):
+                 registry=None, faults=None, clock=None):
         self.config = config or ServiceConfig()
         self.registry = registry
         self._template = template_backend
@@ -148,6 +149,9 @@ class ExecutionService:
             registry=registry,
             cache_capacity=self.config.cache_capacity,
         )
+        # Every *fleet-global* time read goes through this clock (see
+        # the audit note on `now`); defaults to fleet virtual time.
+        self.clock = clock if clock is not None else FleetClock(self.fleet)
         self.policy = make_policy(self.config.policy)
         self.telemetry = Telemetry()
         self._queue = []  # heap of (sort_key, Job)
@@ -189,19 +193,20 @@ class ExecutionService:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def simulator(cls, config=None, chip=None, registry=None, faults=None):
+    def simulator(cls, config=None, chip=None, registry=None, faults=None,
+                  clock=None):
         """A service whose chips are full physical simulators."""
         chip = chip if chip is not None else Biochip.small_chip()
         return cls(SimulatorBackend(chip), config=config, registry=registry,
-                   faults=faults)
+                   faults=faults, clock=clock)
 
     @classmethod
-    def dry_run(cls, config=None, registry=None, faults=None,
+    def dry_run(cls, config=None, registry=None, faults=None, clock=None,
                 **backend_kwargs):
         """A service on time/geometry-only chips, for planning scale."""
         return cls(
             DryRunBackend(**backend_kwargs), config=config, registry=registry,
-            faults=faults,
+            faults=faults, clock=clock,
         )
 
     # -- submission / admission ---------------------------------------------
@@ -213,8 +218,25 @@ class ExecutionService:
 
     @property
     def now(self) -> float:
-        """Fleet virtual time [s]."""
-        return self.fleet.now
+        """Service time [s] from the injected clock (fleet virtual
+        time by default).
+
+        Time-source audit (what reads which clock, and why):
+
+        * ``self.clock.now()`` -- every *fleet-global* stamp: job
+          ``submitted_at``, the retry-readiness gate in :meth:`step`,
+          quarantine stamps and cooldown expiry.  These are service
+          policy, so they follow whatever clock the service runs on.
+        * ``worker.elapsed`` -- deliberately NOT the service clock:
+          deadline expiry (a queue-wait budget on the chip the job
+          would run on -- ``fleet.now`` would punish the job for other
+          chips' progress), retry ``not_before`` stamps (backoff is
+          served by the failing chip's timeline; the dispatch path then
+          incubates *that* chip up to the window exactly once, so
+          backoff cannot be double-charged), and per-attempt
+          started/finished stamps.
+        """
+        return self.clock.now()
 
     def submit(self, protocol, priority=0, deadline=None) -> JobHandle:
         """Admit one job; returns its handle immediately.
@@ -230,7 +252,7 @@ class ExecutionService:
             job_id=self._next_id,
             priority=priority,
             deadline=deadline,
-            submitted_at=self.fleet.now,
+            submitted_at=self.clock.now(),
             fingerprint=protocol.fingerprint(registry=self.registry),
         )
         self._next_id += 1
@@ -347,7 +369,7 @@ class ExecutionService:
             # When the retry is the only queued work it runs anyway
             # (the idle wait is then genuine), so nothing can starve.
             others_ready = self._queued_count - 1 - len(deferred)
-            if (job.not_before > self.fleet.now and others_ready > 0):
+            if (job.not_before > self.clock.now() and others_ready > 0):
                 deferred.append(job)
                 continue
             self._queued_count -= 1
@@ -374,7 +396,7 @@ class ExecutionService:
         cooldown = self.config.restart_cooldown
         if cooldown is None:
             return
-        now = self.fleet.now
+        now = self.clock.now()
         for worker in self.fleet.workers:
             if (worker.health is ChipHealth.QUARANTINED
                     and worker.quarantined_at is not None
@@ -427,7 +449,7 @@ class ExecutionService:
         if worker.health is ChipHealth.QUARANTINED:
             return
         worker.health = ChipHealth.QUARANTINED
-        worker.quarantined_at = self.fleet.now
+        worker.quarantined_at = self.clock.now()
         self.telemetry.count("quarantined")
 
     def drain_chip(self, chip_id):

@@ -4,28 +4,40 @@ Minimal in-process observability for the fleet execution service --
 monotonic counters for job lifecycle events, sample-keeping histograms
 for the two halves of job latency (submit->start queue wait and
 start->done service time), and a ``snapshot()`` dict / ``report()``
-table for benchmarks and dashboards.  All durations are fleet virtual
-seconds, so every number here is deterministic for a given workload.
+table for benchmarks and dashboards.  On the virtual-clock tier all
+durations are fleet virtual seconds, so every number is deterministic
+for a given workload; the wall-clock tier meters real seconds through
+the same classes.
+
+Every meter is thread-safe with its own lock (lock-sharded: two
+threads bumping *different* counters never contend), because the
+concurrent tier's coordinator, workers and submitting callers all
+write telemetry at once.  The single-threaded virtual tier pays one
+uncontended lock acquisition per event, which is noise next to a
+protocol dispatch.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..analysis import ascii_table, format_seconds
 
 
 class Counter:
-    """A monotonic event counter."""
+    """A monotonic event counter.  Thread-safe per instance."""
 
     def __init__(self, name):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount=1):
         if amount < 0:
             raise ValueError(f"counter {self.name}: cannot add {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __int__(self):
         return self.value
@@ -36,47 +48,66 @@ class Histogram:
 
     Keeps every observation (service workloads are bounded, and exact
     percentiles beat bucketed ones for reproduction assertions); exposes
-    nearest-rank percentiles, mean and max.
+    nearest-rank percentiles, mean and max.  Thread-safe per instance:
+    writers append under the lock, readers take a consistent snapshot
+    of the samples under it.
     """
 
     def __init__(self, name):
         self.name = name
         self.samples = []
+        self._lock = threading.Lock()
 
     def observe(self, value):
-        self.samples.append(float(value))
+        value = float(value)  # coerce outside the lock; may raise
+        with self._lock:
+            self.samples.append(value)
+
+    def _snapshot(self) -> list:
+        with self._lock:
+            return list(self.samples)
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        with self._lock:
+            return len(self.samples)
 
     @property
     def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+        samples = self._snapshot()
+        return sum(samples) / len(samples) if samples else 0.0
 
     @property
     def max(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        samples = self._snapshot()
+        return max(samples) if samples else 0.0
 
     def percentile(self, p) -> float:
         """Nearest-rank percentile, ``p`` in [0, 100]; 0.0 when empty."""
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if not self.samples:
+        ordered = sorted(self._snapshot())
+        if not ordered:
             return 0.0
-        ordered = sorted(self.samples)
         rank = max(1, -(-p * len(ordered) // 100))  # ceil without math
         return ordered[int(rank) - 1]
 
     def summary(self) -> dict:
         """count/mean/p50/p90/p99/max of the observations so far."""
+        samples = sorted(self._snapshot())
+
+        def nearest_rank(p):
+            if not samples:
+                return 0.0
+            return samples[int(max(1, -(-p * len(samples) // 100))) - 1]
+
         return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
-            "max": self.max,
+            "count": len(samples),
+            "mean": sum(samples) / len(samples) if samples else 0.0,
+            "p50": nearest_rank(50),
+            "p90": nearest_rank(90),
+            "p99": nearest_rank(99),
+            "max": samples[-1] if samples else 0.0,
         }
 
 
@@ -119,6 +150,11 @@ class Telemetry:
             "replans": 0,
         }
     )
+    # routing_totals is the one multi-field meter, so its merges need a
+    # lock of their own (counters/histograms shard theirs per instance).
+    _routing_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def count(self, name, amount=1):
         self.counters[name].inc(amount)
@@ -139,9 +175,10 @@ class Telemetry:
         """
         if not delta or not delta.get("plans"):
             return
-        for key, value in delta.items():
-            if key in self.routing_totals:
-                self.routing_totals[key] += value
+        with self._routing_lock:
+            for key, value in delta.items():
+                if key in self.routing_totals:
+                    self.routing_totals[key] += value
         self.routing_plan_time.observe(delta.get("plan_seconds", 0.0))
 
     @property
@@ -158,12 +195,14 @@ class Telemetry:
         With ``fleet`` given, adds cache hit rate, per-chip utilization
         and fleet throughput over the current virtual makespan.
         """
+        with self._routing_lock:
+            routing = dict(self.routing_totals)
         snap = {
             "counters": {n: c.value for n, c in self.counters.items()},
             "queue_wait": self.queue_wait.summary(),
             "service_time": self.service_time.summary(),
             "routing": {
-                **self.routing_totals,
+                **routing,
                 "plan_time": self.routing_plan_time.summary(),
             },
         }
