@@ -61,3 +61,15 @@ def paper_chip_grid():
     from repro.array import paper_grid
 
     return paper_grid()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def trace_from_env():
+    """Honour ``REPRO_TRACE=path`` for benchmark runs: spans from every
+    benchmark stream to the JSONL file, flushed+closed at session end."""
+    from repro.observability import tracing
+
+    tracer = tracing.configure_from_env()
+    yield tracer
+    if tracer is not None:
+        tracing.shutdown()

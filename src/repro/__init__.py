@@ -49,6 +49,7 @@ from .core import (
     default_registry,
 )
 from .faults import FaultInjector, FaultModel, FleetFaultPlan
+from .observability import FlightRecorder, JsonlSpanExporter, Tracer
 from .service import (
     AsyncExecutionService,
     ConcurrentConfig,
@@ -81,8 +82,10 @@ __all__ = [
     "FaultInjector",
     "FaultModel",
     "FleetFaultPlan",
+    "FlightRecorder",
     "JobError",
     "JobState",
+    "JsonlSpanExporter",
     "Protocol",
     "ProtocolError",
     "RunResult",
@@ -91,6 +94,7 @@ __all__ = [
     "ServiceConfig",
     "Session",
     "SimulatorBackend",
+    "Tracer",
     "compile_protocol",
     "default_registry",
     "__version__",

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..array.addressing import RowColumnAddresser
+from ..observability import tracing
 from ..array.cages import CageError, CageManager, DeadElectrodeError
 from ..array.grid import ElectrodeGrid, paper_grid
 from ..bio.populations import DrawnParticle
@@ -420,6 +421,21 @@ class Biochip:
         ``dwell_time`` [s].  Raises ExecutionError when no conflict-free
         plan exists.
         """
+        with tracing.span(
+            "chip.move_many",
+            attributes={"cages": len(goals)},
+            clock=lambda: self.elapsed,
+        ) as span:
+            report = self._move_many(goals)
+            if span.recording:
+                span.set_attributes({
+                    "frames": report["frames"],
+                    "moves": report["moves"],
+                })
+            return report
+
+    def _move_many(self, goals):
+        """The untraced :meth:`move_many` body."""
         dead = self._dead_mask()
         requests = []
         for cage_id, goal in goals.items():
@@ -670,6 +686,26 @@ class Biochip:
         :meth:`sense`.  Returns a list of (cage_id, SenseResult) in cage
         id order.
         """
+        with tracing.span(
+            "chip.sense_all",
+            attributes={"n_samples": n_samples},
+            clock=lambda: self.elapsed,
+        ) as span:
+            outcomes = self._sense_all(n_samples)
+            if span.recording:
+                span.set_attributes({
+                    "cages": len(outcomes),
+                    "detections": sum(
+                        1 for __, r in outcomes if r.detected
+                    ),
+                    "rescans": sum(
+                        1 for __, r in outcomes if r.rescanned
+                    ),
+                })
+            return outcomes
+
+    def _sense_all(self, n_samples):
+        """The untraced :meth:`sense_all` body."""
         duration = n_samples * self.addresser.frame_scan_time()
         cages = self.cages.cages
         signals = []

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..observability import tracing
 from .backend import Backend, DryRunBackend, SimulatorBackend
 from .compiler import CompiledProgram, compile_protocol
 from .platform import Biochip
@@ -167,8 +168,19 @@ class Session:
             result=result, handles={} if handles is None else handles
         )
         start_elapsed = self.backend.elapsed
-        for __, op_id, cmd in program.ordered_commands():
-            registry.spec_for(cmd).execute(cmd, self.backend, ctx, op_id)
+        # The span's domain clock is the backend's accounted chip time;
+        # on-chip children (move_many, sense_all, fault events) nest
+        # under it via the ambient context.
+        with tracing.span(
+            "session.run",
+            attributes={
+                "protocol": program.protocol.name,
+                "ops": len(program.protocol.commands),
+            },
+            clock=lambda: self.backend.elapsed,
+        ):
+            for __, op_id, cmd in program.ordered_commands():
+                registry.spec_for(cmd).execute(cmd, self.backend, ctx, op_id)
         result.wall_time = self.backend.elapsed - start_elapsed
         result.finalize()
         return result

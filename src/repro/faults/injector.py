@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.backend import Backend
 from ..core.errors import ChipFault
+from ..observability import tracing
 from .model import FaultModel
 
 
@@ -95,6 +96,10 @@ class FaultInjector(Backend):
             fire = bool(self.rng.random() < self.model.transient_rate)
         if fire:
             self.counters["transient"] += 1
+            # Ambient event, not a span: the injector sits below the
+            # session, so the event lands on the session.run (or
+            # attempt) span that was active when the glitch fired.
+            tracing.add_event("fault.transient", op=op, index=index)
             raise ChipFault(
                 f"transient chip fault during {op} (op {index})"
             )
@@ -103,6 +108,7 @@ class FaultInjector(Backend):
         """Reject an operation that parks a cage centre on a dead pixel."""
         if self.model.is_dead_site(site):
             self.counters["dead_site"] += 1
+            tracing.add_event("fault.dead_site", op=op, site=tuple(site))
             raise ChipFault(f"{op} targets dead electrode {tuple(site)}")
 
     # -- operations ---------------------------------------------------------
@@ -122,6 +128,10 @@ class FaultInjector(Backend):
         for cage_id, goal in goals.items():
             if self.model.is_dead_site(goal):
                 self.counters["dead_site"] += 1
+                tracing.add_event(
+                    "fault.dead_site",
+                    op="move_many", cage=cage_id, site=tuple(goal),
+                )
                 raise ChipFault(
                     f"move_many: cage {cage_id} goal {tuple(goal)} is a "
                     f"dead electrode"

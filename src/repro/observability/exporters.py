@@ -1,0 +1,148 @@
+"""Span exporters: in-memory capture, JSONL span logs, and the
+bounded flight recorder.
+
+Exporters receive finished spans as plain JSON-able dicts (the tracer
+serializes before fan-out, so an exporter can never mutate a live
+span).  All three are thread-safe -- the concurrent tier ends spans
+from the coordinator pump thread while ingesting worker spans.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "FlightRecorder",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+]
+
+
+def _json_default(value):
+    """Serialize non-JSON attribute values: numeric scalars (numpy
+    floats/ints from clock callables or plan stats) stay numeric,
+    anything else degrades to its string form."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class InMemorySpanExporter:
+    """Accumulates span dicts in a list; ``drain()`` hands them off.
+
+    Spawned worker processes install a local tracer with one of these
+    and ship ``drain()``'s result back inside each job outcome, so the
+    coordinator can :meth:`~repro.observability.tracing.Tracer.ingest`
+    them into the real trace.
+    """
+
+    def __init__(self):
+        self.spans = []
+        self._lock = threading.Lock()
+
+    def export(self, span_dict):
+        with self._lock:
+            self.spans.append(span_dict)
+
+    def drain(self):
+        with self._lock:
+            drained, self.spans = self.spans, []
+        return drained
+
+
+class JsonlSpanExporter:
+    """Writes one JSON object per line to ``path``.
+
+    Spans buffer in memory and serialize only on flush, keeping the
+    export cost off the traced hot path (the benchmark guard holds
+    tracing overhead under 5%; see ``bench_service.py``).  The file is
+    truncated on first write so each run starts a fresh trace.
+    """
+
+    def __init__(self, path, buffer_size=512):
+        self.path = str(path)
+        self.buffer_size = int(buffer_size)
+        self._buffer = []
+        self._file = None
+        self._lock = threading.Lock()
+
+    def export(self, span_dict):
+        with self._lock:
+            self._buffer.append(span_dict)
+            if len(self._buffer) >= self.buffer_size:
+                self._flush_locked()
+
+    def flush(self):
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self):
+        if self._file is None:
+            self._file = open(self.path, "w", encoding="utf-8")
+        for span_dict in self._buffer:
+            self._file.write(json.dumps(span_dict, default=_json_default)
+                             + "\n")
+        self._buffer.clear()
+        self._file.flush()
+
+    def close(self):
+        with self._lock:
+            if self._buffer or self._file is not None:
+                self._flush_locked()
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+class FlightRecorder:
+    """Bounded ring of the last ``capacity`` finished spans.
+
+    Fed like any exporter, but normally silent: the serving layer calls
+    :meth:`dump` at crash-shaped moments (job failure after retries
+    exhausted, chip quarantine) to persist the recent span history.
+    Dumps append to ``path`` (when set) as a one-line header record
+    ``{"flight_dump": reason, ...}`` followed by the buffered spans,
+    and are always kept on ``last_dump`` for in-process assertions.
+    """
+
+    def __init__(self, capacity=512, path=None):
+        self.capacity = int(capacity)
+        self.path = str(path) if path is not None else None
+        self.dumps = 0
+        self.last_dump = None
+        self.last_reason = None
+        self._spans = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def export(self, span_dict):
+        with self._lock:
+            self._spans.append(span_dict)
+
+    def spans(self):
+        with self._lock:
+            return list(self._spans)
+
+    def dump(self, reason="", path=None):
+        """Persist the current ring (most recent last); returns it."""
+        with self._lock:
+            records = list(self._spans)
+            self.dumps += 1
+        self.last_dump = records
+        self.last_reason = reason
+        target = self.path if path is None else str(path)
+        if target is not None:
+            header = {
+                "flight_dump": reason,
+                "wall": time.monotonic(),
+                "spans": len(records),
+            }
+            with open(target, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(header) + "\n")
+                for record in records:
+                    handle.write(json.dumps(record, default=_json_default)
+                                 + "\n")
+        return records

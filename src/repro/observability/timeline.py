@@ -1,0 +1,205 @@
+"""Job-timeline inspector: reconstruct per-job span trees from a JSONL
+trace and render them as text or JSON.
+
+A trace file interleaves spans from every job (and, after a flight
+dump, repeats recent ones), so the inspector works per *trace id*: the
+root span of each job carries ``attributes.job_id``, and every child
+-- attempts, ``session.run``, routing plans, sensing batches -- shares
+its trace id.  Rendering shows both clocks: the chip/virtual-time
+window in absolute domain seconds, and wall time relative to the job's
+admission.
+
+Command line::
+
+    python -m repro.observability.timeline trace.jsonl            # list jobs
+    python -m repro.observability.timeline trace.jsonl --job 3    # one tree
+    python -m repro.observability.timeline trace.jsonl --job 3 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = [
+    "job_ids",
+    "job_timeline",
+    "read_spans",
+    "render_job_timeline",
+]
+
+
+def read_spans(path):
+    """Parse a JSONL trace file into a list of span dicts.
+
+    Flight-dump header records (``{"flight_dump": ...}``) are skipped,
+    and spans repeated by a dump are deduplicated by span id (last
+    occurrence wins, which carries the final attributes).
+    """
+    by_id = {}
+    order = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "span_id" not in record:
+                continue  # dump header or foreign record
+            if record["span_id"] not in by_id:
+                order.append(record["span_id"])
+            by_id[record["span_id"]] = record
+    return [by_id[span_id] for span_id in order]
+
+
+def job_ids(spans):
+    """The job ids with a root ``job`` span in the trace, sorted."""
+    seen = set()
+    for record in spans:
+        if record["name"] == "job" and "job_id" in record["attributes"]:
+            seen.add(record["attributes"]["job_id"])
+    return sorted(seen)
+
+
+def _job_root(spans, job_id):
+    for record in spans:
+        if (record["name"] == "job"
+                and record["attributes"].get("job_id") == job_id):
+            return record
+    raise KeyError("no job span with job_id=%r in trace" % (job_id,))
+
+
+def job_timeline(spans, job_id):
+    """The span tree for one job as nested dicts.
+
+    Each node is the span dict plus a ``children`` list, children
+    ordered by wall start time.  Events stay on their owning span.
+    """
+    root = _job_root(spans, job_id)
+    members = [s for s in spans if s["trace_id"] == root["trace_id"]]
+    children = {}
+    for record in members:
+        children.setdefault(record["parent_id"], []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s["start_wall"], s["span_id"]))
+
+    def build(record):
+        node = dict(record)
+        node["children"] = [
+            build(child) for child in children.get(record["span_id"], ())
+        ]
+        return node
+
+    return build(root)
+
+
+def _fmt_clock(value):
+    return "-" if value is None else ("%.3f" % value)
+
+
+def _span_label(record):
+    attrs = record["attributes"]
+    name = record["name"]
+    if name == "job":
+        label = "job %s %r tier=%s" % (
+            attrs.get("job_id"), attrs.get("protocol"), attrs.get("tier"))
+        if "state" in attrs:
+            label += " state=%s attempts=%s" % (
+                attrs["state"], attrs.get("attempts"))
+    elif name == "attempt":
+        label = "attempt %s chip=%s" % (attrs.get("attempt"),
+                                        attrs.get("chip"))
+        if attrs.get("cache_hit"):
+            label += " cache_hit"
+    else:
+        label = name
+        extras = [
+            "%s=%s" % (key, attrs[key])
+            for key in ("protocol", "planner", "cages", "frames", "ops",
+                        "n_samples")
+            if key in attrs
+        ]
+        if extras:
+            label += " " + " ".join(extras)
+    if record["status"] != "ok":
+        kind = attrs.get("error.kind")
+        label += " ERROR" + ("[%s]" % kind if kind else "")
+    return label
+
+
+def render_job_timeline(spans, job_id):
+    """Text rendering of one job's span tree, both clocks shown."""
+    tree = job_timeline(spans, job_id)
+    wall_zero = tree["start_wall"]
+    lines = []
+
+    def emit(node, prefix, is_last, top=False):
+        connector = "" if top else ("`- " if is_last else "|- ")
+        lines.append(
+            "%s%s%s  chip[%s -> %s]  wall[+%.4fs -> +%.4fs]" % (
+                prefix, connector, _span_label(node),
+                _fmt_clock(node["start_chip"]), _fmt_clock(node["end_chip"]),
+                node["start_wall"] - wall_zero,
+                (node["end_wall"] if node["end_wall"] is not None
+                 else node["start_wall"]) - wall_zero,
+            ))
+        child_prefix = prefix if top else prefix + ("   " if is_last
+                                                    else "|  ")
+        # interleave point events and child spans in wall order
+        items = ([("event", e, e["wall"]) for e in node["events"]]
+                 + [("span", c, c["start_wall"]) for c in node["children"]])
+        items.sort(key=lambda item: item[2])
+        for index, (kind, payload, _) in enumerate(items):
+            last = index == len(items) - 1
+            if kind == "event":
+                extras = " ".join(
+                    "%s=%s" % (k, v)
+                    for k, v in payload["attributes"].items())
+                lines.append(
+                    "%s%s* %s%s  chip[%s]  wall[+%.4fs]" % (
+                        child_prefix, "`- " if last else "|- ",
+                        payload["name"], (" " + extras if extras else ""),
+                        _fmt_clock(payload["chip"]),
+                        payload["wall"] - wall_zero,
+                    ))
+            else:
+                emit(payload, child_prefix, last)
+
+    emit(tree, "", True, top=True)
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.timeline",
+        description="Inspect per-job timelines in a JSONL trace file.",
+    )
+    parser.add_argument("trace", help="path to a JSONL trace file")
+    parser.add_argument("--job", type=int, default=None,
+                        help="render the timeline of one job id")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the span tree as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    spans = read_spans(args.trace)
+    if args.job is None:
+        ids = job_ids(spans)
+        print("%d spans, %d jobs in %s" % (len(spans), len(ids), args.trace))
+        for job_id in ids:
+            root = _job_root(spans, job_id)
+            attrs = root["attributes"]
+            print("  job %-4s %-24r state=%-8s attempts=%s" % (
+                job_id, attrs.get("protocol"), attrs.get("state", "?"),
+                attrs.get("attempts", "?")))
+        return 0
+    if args.as_json:
+        json.dump(job_timeline(spans, args.job), sys.stdout, indent=2)
+        print()
+    else:
+        print(render_job_timeline(spans, args.job))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,460 @@
+"""Zero-dependency tracing core: spans with dual clocks, context
+propagation, and a process-global tracer.
+
+The serving stack runs the same protocols under three execution tiers
+(virtual clock, threads, spawned processes) plus an asyncio front end,
+so the tracer is built around three constraints:
+
+* **Dual clocks.**  Every span records wall time (``time.monotonic``)
+  *and* a domain "chip" clock supplied per span as a zero-arg callable
+  -- fleet virtual seconds for the scheduler, ``backend.elapsed`` for
+  on-chip work.  Timelines can therefore be ordered in either domain.
+* **Context, not globals-per-thread.**  The active span lives in a
+  :mod:`contextvars` ``ContextVar``, which is inherited by threads at
+  ``Context.run`` boundaries and natively by asyncio tasks; spawned
+  processes instead install a local buffering tracer and ship finished
+  span dicts back over the result queue (see
+  :meth:`Tracer.ingest`).
+* **Zero cost when off.**  ``tracing.span(...)`` with no tracer
+  installed returns one cached null context manager after a single
+  module-global check -- instrumented hot paths pay an attribute load
+  and a truth test, nothing else.
+
+Spans end exactly once: a second ``end`` raises :class:`TraceError`,
+and ``Tracer.open_count()`` exposes the started-minus-ended balance so
+chaos suites can assert no span leaked.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextvars import ContextVar
+
+__all__ = [
+    "Span",
+    "TraceError",
+    "Tracer",
+    "add_event",
+    "capture",
+    "configure_from_env",
+    "current_span",
+    "dump_flight",
+    "get_tracer",
+    "install",
+    "shutdown",
+    "span",
+]
+
+
+class TraceError(RuntimeError):
+    """A span-lifecycle violation (double end, foreign span)."""
+
+
+_ID_COUNTER = itertools.count(1)
+
+# Ids are pid-qualified so ones minted in spawned workers can never
+# collide with the coordinator's when ingested into one trace file.
+# The qualifier is cached (getpid + formatting off the per-span path)
+# and refreshed in fork children.
+_PID_QUALIFIER = "%x" % os.getpid()
+
+
+def _refresh_pid_qualifier():
+    global _PID_QUALIFIER
+    _PID_QUALIFIER = "%x" % os.getpid()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_refresh_pid_qualifier)
+
+
+def _new_id(prefix):
+    return "%s%s-%x" % (prefix, _PID_QUALIFIER, next(_ID_COUNTER))
+
+
+class Span:
+    """One timed operation: name, ids, dual-clock window, attributes,
+    and point-in-time events.
+
+    ``clock`` is the span's domain clock (zero-arg callable, or None
+    for wall-only spans); it is sampled at start, at each
+    ``add_event``, and at end.
+
+    A span is its own context manager: ``with tracer.span(...)``
+    activates it in the ambient context (children inherit it), ends it
+    on exit, and marks error status if an exception escapes.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_wall",
+        "end_wall",
+        "start_chip",
+        "end_chip",
+        "status",
+        "error",
+        "attributes",
+        "events",
+        "_clock",
+        "_tracer",
+        "_token",
+    )
+
+    recording = True
+
+    def __init__(self, name, trace_id, span_id, parent_id, tracer,
+                 clock=None, attributes=None):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._tracer = tracer
+        self._clock = clock
+        self._token = None
+        self.start_wall = time.monotonic()
+        self.end_wall = None
+        # The span takes ownership of ``attributes`` (call sites pass
+        # fresh dict literals; copying again would double the cost).
+        self.start_chip = clock() if clock is not None else None
+        self.end_chip = None
+        self.status = "ok"
+        self.error = None
+        self.attributes = attributes if attributes is not None else {}
+        self.events = []
+
+    def __repr__(self):
+        return "Span(%r, span_id=%r, status=%r)" % (
+            self.name, self.span_id, self.status)
+
+    # -- mutation ----------------------------------------------------
+
+    def set_attribute(self, key, value):
+        self.attributes[key] = value
+
+    def set_attributes(self, mapping):
+        self.attributes.update(mapping)
+
+    def add_event(self, name, **attributes):
+        clock = self._clock
+        self.events.append({
+            "name": name,
+            "wall": time.monotonic(),
+            "chip": clock() if clock is not None else None,
+            "attributes": attributes,
+        })
+
+    def set_error(self, message):
+        self.status = "error"
+        self.error = str(message)
+
+    def end(self):
+        """End this span (exactly once) via its owning tracer."""
+        self._tracer.end_span(self)
+
+    # -- context management ------------------------------------------
+
+    def __enter__(self):
+        self._token = _CURRENT_SPAN.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _CURRENT_SPAN.reset(self._token)
+        self._token = None
+        if exc_type is not None and self.status == "ok":
+            self.set_error("%s: %s" % (exc_type.__name__, exc))
+        self._tracer.end_span(self)
+        return False
+
+    # -- serialization -----------------------------------------------
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "start_chip": self.start_chip,
+            "end_chip": self.end_chip,
+            "status": self.status,
+            "error": self.error,
+            "attributes": self.attributes,
+            "events": self.events,
+        }
+
+
+class _NullSpan:
+    """Recorded-nothing stand-in returned when no tracer is installed."""
+
+    __slots__ = ()
+    recording = False
+    trace_id = ""
+    span_id = ""
+
+    def set_attribute(self, key, value):
+        pass
+
+    def set_attributes(self, mapping):
+        pass
+
+    def add_event(self, name, **attributes):
+        pass
+
+    def set_error(self, message):
+        pass
+
+    def end(self):
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+# The active span for the current thread/task.  Threads spawned after a
+# span opened inherit a *copy* of the context, asyncio tasks likewise.
+_CURRENT_SPAN: ContextVar = ContextVar("repro_current_span", default=None)
+
+# Sentinel: "parent from the ambient context" (vs None = explicit root).
+INHERIT = object()
+
+
+class Tracer:
+    """Mints, finishes, and exports spans.
+
+    ``exporters`` receive each finished span as a plain dict (JSON-able;
+    see :mod:`repro.observability.exporters`).  ``flight_recorder``, if
+    given, is *also* fed every span and can be dumped on demand by the
+    serving layer when a job fails or a chip is quarantined.  With
+    ``keep=True`` finished span dicts accumulate on
+    ``finished_spans`` for in-process inspection (tests, notebooks).
+    """
+
+    def __init__(self, exporters=(), flight_recorder=None, keep=False):
+        import threading
+
+        self.exporters = list(exporters)
+        self.flight_recorder = flight_recorder
+        if flight_recorder is not None:
+            self.exporters.append(flight_recorder)
+        self.keep = keep
+        self.finished_spans = []
+        self.started = 0
+        self.ended = 0
+        self._open = {}
+        self._lock = threading.Lock()
+
+    # -- span lifecycle ----------------------------------------------
+
+    def start_span(self, name, parent=INHERIT, attributes=None, clock=None):
+        """Mint a started span.  ``parent`` is the ambient span by
+        default; pass ``None`` for an explicit root, a :class:`Span`,
+        or a ``(trace_id, span_id)`` pair for a remote parent."""
+        if parent is INHERIT:
+            parent = _CURRENT_SPAN.get()
+        if parent is None:
+            trace_id, parent_id = _new_id("t"), None
+        elif isinstance(parent, tuple):
+            trace_id, parent_id = parent
+            trace_id = trace_id or _new_id("t")
+            parent_id = parent_id or None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(name, trace_id, _new_id("s"), parent_id, self,
+                    clock=clock, attributes=attributes)
+        with self._lock:
+            self.started += 1
+            self._open[span.span_id] = span
+        return span
+
+    def span(self, name, parent=INHERIT, attributes=None, clock=None):
+        """Start a span and return it as a context manager that
+        activates it (children inherit it) and ends it on exit."""
+        return self.start_span(name, parent=parent, attributes=attributes,
+                               clock=clock)
+
+    def end_span(self, span):
+        span_dict = None
+        with self._lock:
+            if span.span_id not in self._open:
+                raise TraceError(
+                    "span ended twice or not started here: %r" % (span,))
+            del self._open[span.span_id]
+            self.ended += 1
+            span.end_wall = time.monotonic()
+            if span._clock is not None:
+                span.end_chip = float(span._clock())
+            if self.keep:
+                span_dict = span.to_dict()
+                self.finished_spans.append(span_dict)
+        # exporters run outside the lock; one dict is shared with keep
+        if self.exporters:
+            if span_dict is None:
+                span_dict = span.to_dict()
+            for exporter in self.exporters:
+                exporter.export(span_dict)
+
+    def ingest(self, span_dict):
+        """Adopt a finished span produced by another tracer (e.g. a
+        spawned worker process shipping spans over its result queue)."""
+        with self._lock:
+            self.started += 1
+            self.ended += 1
+        self._export(dict(span_dict))
+
+    def _export(self, span_dict):
+        if self.keep:
+            with self._lock:
+                self.finished_spans.append(span_dict)
+        for exporter in self.exporters:
+            exporter.export(span_dict)
+
+    # -- accounting / shutdown ---------------------------------------
+
+    def open_count(self):
+        with self._lock:
+            return len(self._open)
+
+    def open_spans(self):
+        with self._lock:
+            return list(self._open.values())
+
+    def flush(self):
+        for exporter in self.exporters:
+            flush = getattr(exporter, "flush", None)
+            if flush is not None:
+                flush()
+
+    def close(self):
+        self.flush()
+        for exporter in self.exporters:
+            close = getattr(exporter, "close", None)
+            if close is not None:
+                close()
+
+
+# -- module-level API (the instrumented code paths use only this) -----
+
+_TRACER = None
+
+
+def install(tracer):
+    """Install ``tracer`` as the process-global tracer; returns the
+    previously installed tracer (or None) so callers can restore it."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def get_tracer():
+    """The installed tracer, or None when tracing is off."""
+    return _TRACER
+
+
+def span(name, parent=INHERIT, attributes=None, clock=None):
+    """Context manager for a span under the installed tracer.  When no
+    tracer is installed this returns a cached null context manager --
+    the fast path costs one global load and an ``is None`` test."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_CONTEXT
+    return tracer.span(name, parent=parent, attributes=attributes,
+                       clock=clock)
+
+
+def current_span():
+    """The ambient active span, or a null span when none is active."""
+    active = _CURRENT_SPAN.get()
+    return active if active is not None else NULL_SPAN
+
+
+def add_event(name, **attributes):
+    """Attach an event to the ambient span, if any (used by deep layers
+    like the fault injector that should not mint spans of their own)."""
+    if _TRACER is None:
+        return
+    active = _CURRENT_SPAN.get()
+    if active is not None:
+        active.add_event(name, **attributes)
+
+
+def dump_flight(reason=""):
+    """Dump the installed tracer's flight recorder (if any); returns
+    the dumped span dicts or None.  The serving layer calls this at
+    crash-shaped moments -- a job going terminal FAILED, a chip being
+    quarantined -- so the recent span history survives the incident."""
+    tracer = _TRACER
+    if tracer is None or tracer.flight_recorder is None:
+        return None
+    return tracer.flight_recorder.dump(reason)
+
+
+class capture:
+    """``with tracing.capture() as tracer:`` -- install a fresh
+    in-memory tracer for the block, restoring the previous one after.
+
+    The tracer keeps finished span dicts on ``tracer.finished_spans``;
+    pass ``flight_recorder=`` to also exercise crash dumps.  This is the
+    test/notebook entry point; production runs use
+    :func:`configure_from_env`.
+    """
+
+    def __init__(self, flight_recorder=None, exporters=()):
+        self.tracer = Tracer(exporters=exporters,
+                             flight_recorder=flight_recorder, keep=True)
+
+    def __enter__(self):
+        self._previous = install(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb):
+        install(self._previous)
+        return False
+
+
+def configure_from_env(env_var="REPRO_TRACE", environ=None):
+    """Install a JSONL-exporting tracer when ``REPRO_TRACE=path`` is
+    set; returns the tracer (or None when the variable is unset).
+
+    The span log goes to ``path``; the flight recorder, when dumped,
+    appends to ``path + ".flight"``.
+    """
+    environ = os.environ if environ is None else environ
+    path = environ.get(env_var)
+    if not path:
+        return None
+    from .exporters import FlightRecorder, JsonlSpanExporter
+
+    tracer = Tracer(
+        exporters=[JsonlSpanExporter(path)],
+        flight_recorder=FlightRecorder(path=path + ".flight"),
+    )
+    install(tracer)
+    return tracer
+
+
+def shutdown():
+    """Flush + close the installed tracer's exporters and uninstall it.
+    Returns the tracer that was shut down (or None)."""
+    tracer = install(None)
+    if tracer is not None:
+        tracer.close()
+    return tracer

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..array.grid import ElectrodeGrid
 from ..array.state import dilate8_into, first_pairwise_violation
+from ..observability import tracing
 from .astar import (
     MOVES_8,
     WAIT,
@@ -366,6 +367,17 @@ class BatchRouter:
         RoutingError
             When any cage cannot reach its goal within the horizon.
         """
+        # Planning is host work, not chip time: the span is wall-only
+        # (no domain clock) and carries the plan's own stats --
+        # makespan, expansions, and the tier-escalation counters.
+        with tracing.span("routing.plan") as span:
+            plan = self._plan(requests, priority=priority)
+            if span.recording:
+                span.set_attributes(dict(plan.stats))
+            return plan
+
+    def _plan(self, requests, priority=None):
+        """The untraced :meth:`plan` body."""
         requests = list(requests)
         self._blocked_arr = (
             np.asarray(self.blocked, dtype=bool)

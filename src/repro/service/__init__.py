@@ -35,6 +35,12 @@ reference tier.  For serving on real time there is the wall-clock tier
 runs the same semantics across thread or process chip workers, and
 :class:`AsyncExecutionService` fronts it with asyncio submission,
 streaming job handles and queue backpressure.
+
+Both tiers are traced end to end when a tracer is installed (see
+:mod:`repro.observability`): every job carries a span tree from admit
+through dispatch, retries and migration to its terminal state, and
+``service.telemetry.to_prometheus()`` renders the counters, latency
+summaries and fleet gauges in the Prometheus text exposition format.
 """
 
 from .cache import CacheStats, ProgramCache, program_key, rebind_program

@@ -38,6 +38,7 @@ stream.
 from __future__ import annotations
 
 import heapq
+import logging
 import queue
 import threading
 import time
@@ -46,6 +47,7 @@ from dataclasses import dataclass
 from ...core.errors import BiochipError, ServiceError
 from ...core.session import Session, sweep_handles
 from ...faults import FaultInjector, FaultModel, FleetFaultPlan
+from ...observability import tracing
 from ..cache import ProgramCache
 from ..jobs import (
     ErrorKind,
@@ -57,6 +59,8 @@ from ..jobs import (
 )
 from ..telemetry import Telemetry
 from .syncbridge import SenseTap, WallClock
+
+log = logging.getLogger("repro.service")
 
 #: Worker execution modes.
 WORKER_MODES = ("thread", "process")
@@ -204,6 +208,10 @@ class _WorkerRuntime:
         self.restarts = 0
         self.streak = 0
         self._current_job_id = None
+        # Process mode only: the local tracer's in-memory exporter;
+        # finished span dicts are drained into each outcome message so
+        # the coordinator can ingest them into the parent trace.
+        self.span_buffer = None
 
     # -- chip lifecycle -----------------------------------------------------
 
@@ -309,57 +317,80 @@ class _WorkerRuntime:
         cache_hit = False
         handles = {}
         self._current_job_id = job.job_id
-        try:
-            program, cache_hit = self.cache.get_or_compile(
-                job.protocol, self.session, registry=self.registry,
-                fingerprint=job.fingerprint,
-            )
-            run = self.session.run(program, handles=handles)
-        except BiochipError as exc:
-            error = classify_error(
-                exc, chip_id=self.worker_id, attempts=job.attempts + 1
-            )
-        except Exception as exc:  # noqa: BLE001 -- same contract as the
-            # virtual tier: any dispatch bug terminalises the job
-            # instead of escaping with its cages leaked
-            error = JobError(
-                kind=ErrorKind.PERMANENT,
-                message=f"unexpected {type(exc).__name__}: {exc}",
-                cause=exc,
-                chip_id=self.worker_id,
-                attempts=job.attempts + 1,
-            )
-        finally:
-            # leftover cages would poison this chip for every later job
-            sweep_handles(backend, handles)
-            self._current_job_id = None
-        chip_seconds = backend.elapsed - chip_before
-        scale = self.config.time_scale
-        if scale:
-            # Device pacing: on real hardware the attempt *takes* its
-            # chip time; sleep out whatever simulating it didn't spend.
-            target = chip_seconds * scale
-            spent = self.clock.now() - started
-            if target > spent:
-                time.sleep(target - spent)
-        finished = self.clock.now()
-        budget = self.config.job_timeout
-        if error is None and budget is not None and finished - started > budget:
-            error = JobError(
-                kind=ErrorKind.TIMEOUT,
-                message=(
-                    f"attempt took {finished - started:.3f}s, over the "
-                    f"{budget:.3f}s job timeout"
-                ),
-                chip_id=self.worker_id,
-                attempts=job.attempts + 1,
-            )
-            run = None  # past-budget results are discarded, not trusted
+        # The attempt span is parented on the job's root span by its
+        # shipped ids (a remote tuple): threads share the coordinator's
+        # tracer, process workers run a local one and ship span dicts
+        # back in the outcome.  Chip clocks reset per worker spawn, so
+        # the span's domain clock is the SHARED wall clock and the
+        # chip-local seconds ride along as an attribute.
+        with tracing.span(
+            "attempt",
+            parent=(job.trace_id, job.root_span_id),
+            attributes={"attempt": job.attempts + 1, "chip": self.worker_id},
+            clock=self.clock.now,
+        ) as span:
+            try:
+                program, cache_hit = self.cache.get_or_compile(
+                    job.protocol, self.session, registry=self.registry,
+                    fingerprint=job.fingerprint,
+                )
+                run = self.session.run(program, handles=handles)
+            except BiochipError as exc:
+                error = classify_error(
+                    exc, chip_id=self.worker_id, attempts=job.attempts + 1
+                )
+            except Exception as exc:  # noqa: BLE001 -- same contract as
+                # the virtual tier: any dispatch bug terminalises the
+                # job instead of escaping with its cages leaked
+                error = JobError(
+                    kind=ErrorKind.PERMANENT,
+                    message=f"unexpected {type(exc).__name__}: {exc}",
+                    cause=exc,
+                    chip_id=self.worker_id,
+                    attempts=job.attempts + 1,
+                )
+            finally:
+                # leftover cages would poison this chip for later jobs
+                sweep_handles(backend, handles)
+                self._current_job_id = None
+            chip_seconds = backend.elapsed - chip_before
+            scale = self.config.time_scale
+            if scale:
+                # Device pacing: on real hardware the attempt *takes*
+                # its chip time; sleep out what simulation didn't spend.
+                target = chip_seconds * scale
+                spent = self.clock.now() - started
+                if target > spent:
+                    time.sleep(target - spent)
+            finished = self.clock.now()
+            budget = self.config.job_timeout
+            if (error is None and budget is not None
+                    and finished - started > budget):
+                error = JobError(
+                    kind=ErrorKind.TIMEOUT,
+                    message=(
+                        f"attempt took {finished - started:.3f}s, over the "
+                        f"{budget:.3f}s job timeout"
+                    ),
+                    chip_id=self.worker_id,
+                    attempts=job.attempts + 1,
+                )
+                run = None  # past-budget results are discarded
+            if span.recording:
+                span.set_attributes({
+                    "cache_hit": cache_hit,
+                    "chip_seconds": chip_seconds,
+                })
+                if error is not None:
+                    error.trace_id = span.trace_id
+                    error.span_id = span.span_id
+                    span.set_attribute("error.kind", error.kind.value)
+                    span.set_error(error.message)
         if error is not None and self.strip_cause:
             # exception objects are not reliably picklable across the
             # process boundary; the structured JobError fields are
             error.cause = None
-        return {
+        outcome = {
             "error": error,
             "run": run,
             "cache_hit": cache_hit,
@@ -369,6 +400,9 @@ class _WorkerRuntime:
             "expired": False,
             "faults": self._fault_counters(),
         }
+        if self.span_buffer is not None:
+            outcome["spans"] = self.span_buffer.drain()
+        return outcome
 
     def _quarantine_and_recover(self):
         """Self-quarantine: stop pulling, wait out the cooldown (or a
@@ -392,19 +426,30 @@ class _WorkerRuntime:
 
 
 def _process_worker_main(worker_id, template, registry, plan, config,
-                         epoch, ready_q, done_q, stop_event, restart_event):
+                         epoch, ready_q, done_q, stop_event, restart_event,
+                         trace=False):
     """Entry point of one spawned worker process.
 
     The template backend arrives pickled exactly once (as this
     function's argument); the worker spawns its chip from it locally.
     The wall-clock epoch is shared so deadlines and timestamps line up
     with the parent's timeline.
+
+    ``trace`` mirrors "was a tracer installed in the parent when the
+    pool spawned": tracers do not pickle, so the child installs its own
+    buffering tracer and ships finished span dicts back inside each
+    outcome message for the coordinator to ingest.
     """
     runtime = _WorkerRuntime(
         worker_id, template, registry, plan, config,
         WallClock(epoch=epoch), ready_q, done_q, stop_event, restart_event,
         strip_cause=True,
     )
+    if trace:
+        from ...observability.exporters import InMemorySpanExporter
+
+        runtime.span_buffer = InMemorySpanExporter()
+        tracing.install(tracing.Tracer(exporters=[runtime.span_buffer]))
     runtime.run()
 
 
@@ -578,6 +623,8 @@ class ConcurrentExecutionService:
         self._delayed = []       # (not_before, job_id, Job) backoff heap
         self._inflight = {}      # job_id -> Job handed to the pool
         self._handles = {}       # job_id -> handle, dropped on resolve
+        self._job_spans = {}     # job_id -> live root Span (tracing on)
+        self._last_errors = {}   # worker_id -> last JobError it reported
         self._results = []       # terminal results pending drain()
         self._outstanding = 0    # submitted jobs not yet terminal
         self._bounces = {}       # job_id -> steering bounces so far
@@ -596,12 +643,14 @@ class ConcurrentExecutionService:
             self._done_q = ctx.Queue()
             self._stop_event = ctx.Event()
             restart_events = [ctx.Event() for __ in range(n)]
+            trace = tracing.get_tracer() is not None
             runners = [
                 ctx.Process(
                     target=_process_worker_main,
                     args=(i, template_backend, registry, self._plan,
                           self.config, self.clock.epoch, self._ready_q,
-                          self._done_q, self._stop_event, restart_events[i]),
+                          self._done_q, self._stop_event, restart_events[i],
+                          trace),
                     daemon=True,
                     name=f"chip-worker-{i}",
                 )
@@ -776,10 +825,29 @@ class ConcurrentExecutionService:
             handle = ConcurrentJobHandle(job)
             self._handles[job.job_id] = handle
             self._outstanding += 1
+            tracer = tracing.get_tracer()
+            if tracer is not None:
+                root = tracer.start_span(
+                    "job",
+                    parent=None,
+                    attributes={
+                        "job_id": job.job_id,
+                        "protocol": getattr(protocol, "name", ""),
+                        "tier": self.config.mode,
+                        "priority": priority,
+                    },
+                    clock=self.clock.now,
+                )
+                job.trace_id = root.trace_id
+                job.root_span_id = root.span_id
+                self._job_spans[job.job_id] = root
             self.telemetry.count("submitted")
             if not self._admit(job):
                 self._finish_unserved(job, JobState.REJECTED, "rejected")
                 return handle
+            span = self._job_spans.get(job.job_id)
+            if span is not None:
+                span.add_event("admit", queue_depth=self._queued_count + 1)
             heapq.heappush(self._heap, (job.sort_key(), job))
             self._queued_count += 1
             handle._emit({"kind": "queued", "t": job.submitted_at})
@@ -840,6 +908,23 @@ class ConcurrentExecutionService:
         self._bounces.pop(job.job_id, None)
         self._outstanding -= 1
         self._results.append(result)
+        span = self._job_spans.pop(job.job_id, None)
+        if span is not None:
+            span.set_attributes({
+                "state": result.state.value,
+                "attempts": result.attempts,
+                "chip": result.chip_id,
+            })
+            if result.error is not None:
+                span.set_attribute("error.kind", result.error.kind.value)
+            if result.state is JobState.FAILED:
+                span.set_error(result.error.message)
+            span.end()
+            if result.state is JobState.FAILED:
+                tracing.dump_flight(
+                    "job %d failed: %s"
+                    % (job.job_id, result.error.kind.value)
+                )
         handle._resolve(result)
         self._terminal.notify_all()
         self._capacity.notify_all()
@@ -972,6 +1057,11 @@ class ConcurrentExecutionService:
             self._workers[worker_id].current_job_id = job_id
             if job is not None:
                 job.state = JobState.RUNNING
+                span = self._job_spans.get(job_id)
+                if span is not None:
+                    span.add_event(
+                        "dispatch", chip=worker_id, attempt=job.attempts + 1
+                    )
             if handle is not None:
                 handle._emit({"kind": "started", "worker": worker_id, "t": t})
         elif kind == "sense":
@@ -998,6 +1088,15 @@ class ConcurrentExecutionService:
             slot.health = "quarantined"
             slot.quarantined_at = t
             self.telemetry.count("quarantined")
+            error = self._last_errors.get(worker_id)
+            log.warning(
+                "worker %d quarantined itself at t=%.3f "
+                "(trace_id=%s span_id=%s)",
+                worker_id, t,
+                error.trace_id if error is not None else "",
+                error.span_id if error is not None else "",
+            )
+            tracing.dump_flight("worker %d quarantined" % worker_id)
         elif kind == "restarted":
             __, worker_id, t, retired = message
             slot = self._workers[worker_id]
@@ -1006,6 +1105,10 @@ class ConcurrentExecutionService:
             slot.restarts += 1
             slot.quarantined_at = None
             self.telemetry.count("restarted")
+            log.info(
+                "worker %d restarted at t=%.3f (restart #%d)",
+                worker_id, t, slot.restarts,
+            )
         elif kind == "stopped":
             __, worker_id, counters = message
             slot = self._workers[worker_id]
@@ -1016,6 +1119,13 @@ class ConcurrentExecutionService:
             self._mark_worker_dead(worker_id, detail)
 
     def _handle_outcome(self, worker_id, job_id, outcome):
+        tracer = tracing.get_tracer()
+        if tracer is not None:
+            # Process workers ship their finished span dicts (attempt +
+            # on-chip children) inside the outcome; adopt them here so
+            # the parent trace file holds the whole tree.
+            for span_dict in outcome.get("spans") or ():
+                tracer.ingest(span_dict)
         job = self._inflight.pop(job_id, None)
         if job is None:
             return
@@ -1034,8 +1144,14 @@ class ConcurrentExecutionService:
         else:
             self._cache_misses += 1
         error = outcome["error"]
+        self._last_errors[worker_id] = error
+        job_span = self._job_spans.get(job_id)
         if job.attempts > 0 and worker_id != job.last_chip:
             self.telemetry.count("migrated")
+            if job_span is not None:
+                job_span.add_event(
+                    "migrate", from_chip=job.last_chip, to_chip=worker_id
+                )
         if error is not None and error.kind is ErrorKind.TIMEOUT:
             self.telemetry.count("timeout")
         if (error is not None and error.retryable
@@ -1048,6 +1164,15 @@ class ConcurrentExecutionService:
             )
             job.not_before = self.clock.now() + backoff
             job.state = JobState.QUEUED
+            if job_span is not None:
+                job_span.add_event(
+                    "backoff",
+                    attempt=job.attempts,
+                    chip=worker_id,
+                    error=error.kind.value,
+                    backoff=backoff,
+                    not_before=job.not_before,
+                )
             heapq.heappush(
                 self._delayed, (job.not_before, job.job_id, job)
             )

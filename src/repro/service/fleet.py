@@ -241,8 +241,17 @@ class Fleet:
         Chips run in parallel in the modelled deployment, so the
         fleet-wide wall clock is the max, and makespan of a drained
         workload is ``now`` at drain end.
+
+        Written as a plain loop over the backend clocks: this is the
+        job-span domain clock, sampled at every span start/event/end
+        when tracing is on, so it stays allocation-free.
         """
-        return max(w.elapsed for w in self.workers)
+        best = 0.0
+        for worker in self.workers:
+            elapsed = worker.session.backend.elapsed
+            if elapsed > best:
+                best = elapsed
+        return best
 
     @property
     def total_busy_time(self) -> float:

@@ -79,6 +79,12 @@ class JobError:
     cause: object = None          # the original exception, when any
     chip_id: int | None = None    # chip of the *final* failed attempt
     attempts: int = 0             # attempts consumed when it went terminal
+    # Trace correlation: the ids of the attempt span that produced this
+    # error (empty when tracing was off).  Quarantine/restart log lines
+    # carry them, so an incident in the logs resolves to its span tree
+    # in the JSONL trace file.
+    trace_id: str = ""
+    span_id: str = ""
 
     def __str__(self) -> str:
         return self.message
@@ -138,6 +144,11 @@ class Job:
     not_before: float = 0.0
     last_chip: int | None = None
     tried_chips: set = field(default_factory=set)
+    # Trace correlation: the job's root span ids, stamped at submit
+    # when tracing is on.  Plain strings so the job pickles cleanly to
+    # process workers, which parent their attempt spans on these ids.
+    trace_id: str = ""
+    root_span_id: str = ""
 
     def sort_key(self):
         """Heap key: highest priority first, FIFO within a priority."""

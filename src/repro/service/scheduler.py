@@ -29,6 +29,7 @@ corruption.
 from __future__ import annotations
 
 import heapq
+import logging
 from dataclasses import dataclass
 
 from ..core.backend import DryRunBackend, SimulatorBackend
@@ -36,6 +37,7 @@ from ..core.errors import BiochipError, ServiceError
 from ..core.platform import Biochip
 from ..core.session import Session, sweep_handles
 from ..faults import FaultInjector, FaultModel, FleetFaultPlan
+from ..observability import tracing
 from .concurrent.syncbridge import FleetClock
 from .fleet import ChipHealth, Fleet, make_policy
 from .jobs import (
@@ -48,6 +50,8 @@ from .jobs import (
     classify_error,
 )
 from .telemetry import Telemetry
+
+log = logging.getLogger("repro.service")
 
 #: Admission behaviours when the queue is at ``max_queue_depth``.
 ADMISSION_POLICIES = ("reject", "shed-lowest")
@@ -157,6 +161,7 @@ class ExecutionService:
         self._queue = []  # heap of (sort_key, Job)
         self._queued_count = 0  # QUEUED entries (heap may hold shed ones)
         self._handles = {}  # job_id -> JobHandle
+        self._job_spans = {}  # job_id -> live root Span (tracing on)
         self._next_id = 0
         # Fault plan: a FleetFaultPlan (per-chip models), or one
         # FaultModel applied to every chip.  Injectors wrap each chip's
@@ -258,10 +263,28 @@ class ExecutionService:
         self._next_id += 1
         handle = JobHandle(job=job, _service=self)
         self._handles[job.job_id] = handle
+        tracer = tracing.get_tracer()
+        if tracer is not None:
+            root = tracer.start_span(
+                "job",
+                parent=None,
+                attributes={
+                    "job_id": job.job_id,
+                    "protocol": getattr(protocol, "name", ""),
+                    "tier": "virtual",
+                    "priority": priority,
+                },
+                clock=self.clock.now,
+            )
+            job.trace_id, job.root_span_id = root.trace_id, root.span_id
+            self._job_spans[job.job_id] = root
         self.telemetry.count("submitted")
         if not self._admit(job):
             self._finish_unserved(job, JobState.REJECTED, "rejected")
             return handle
+        span = self._job_spans.get(job.job_id)
+        if span is not None:
+            span.add_event("admit", queue_depth=self._queued_count + 1)
         heapq.heappush(self._queue, (job.sort_key(), job))
         self._queued_count += 1
         return handle
@@ -307,6 +330,23 @@ class ExecutionService:
         """
         handle = self._handles.pop(job.job_id)
         handle._resolve(result)
+        span = self._job_spans.pop(job.job_id, None)
+        if span is not None:
+            span.set_attributes({
+                "state": result.state.value,
+                "attempts": result.attempts,
+                "chip": result.chip_id,
+            })
+            if result.error is not None:
+                span.set_attribute("error.kind", result.error.kind.value)
+            if result.state is JobState.FAILED:
+                span.set_error(result.error.message)
+            span.end()
+            if result.state is JobState.FAILED:
+                tracing.dump_flight(
+                    "job %d failed: %s"
+                    % (job.job_id, result.error.kind.value)
+                )
         return result
 
     #: Messages for terminal states the service imposed (no chip ran).
@@ -443,14 +483,28 @@ class ExecutionService:
                     return away
         return healthy
 
-    def quarantine_chip(self, chip_id):
-        """Bench a chip: no new dispatches until it is restarted."""
+    def quarantine_chip(self, chip_id, error=None):
+        """Bench a chip: no new dispatches until it is restarted.
+
+        ``error`` is the :class:`JobError` that tripped the streak (when
+        quarantine came from :meth:`_account_chip_health`); its span ids
+        make the log line greppable back to the span tree in the trace.
+        """
         worker = self.fleet.worker(chip_id)
         if worker.health is ChipHealth.QUARANTINED:
             return
         worker.health = ChipHealth.QUARANTINED
         worker.quarantined_at = self.clock.now()
         self.telemetry.count("quarantined")
+        log.warning(
+            "chip %d quarantined after %d consecutive retryable failures "
+            "(trace_id=%s span_id=%s)",
+            chip_id,
+            worker.consecutive_failures,
+            error.trace_id if error is not None else "",
+            error.span_id if error is not None else "",
+        )
+        tracing.dump_flight("chip %d quarantined" % chip_id)
 
     def drain_chip(self, chip_id):
         """Gracefully take a chip out of rotation (state intact)."""
@@ -498,6 +552,10 @@ class ExecutionService:
         worker.consecutive_failures = 0
         worker.quarantined_at = None
         self.telemetry.count("restarted")
+        log.info(
+            "chip %d restarted (restart #%d, online_at=%.3f)",
+            chip_id, worker.restarts, online_at,
+        )
 
     def _account_chip_health(self, worker, error):
         """Update a chip's failure streak from one attempt's outcome.
@@ -516,7 +574,7 @@ class ExecutionService:
         if (threshold is not None
                 and worker.health is ChipHealth.HEALTHY
                 and worker.consecutive_failures >= threshold):
-            self.quarantine_chip(worker.chip_id)
+            self.quarantine_chip(worker.chip_id, error=error)
 
     def _requeue_for_retry(self, job, worker, error):
         """Put a retryably-failed job back in the queue with backoff."""
@@ -526,6 +584,16 @@ class ExecutionService:
         backoff = self.config.retry_backoff * (2 ** (job.attempts - 1))
         job.not_before = worker.elapsed + backoff
         job.state = JobState.QUEUED
+        span = self._job_spans.get(job.job_id)
+        if span is not None:
+            span.add_event(
+                "backoff",
+                attempt=job.attempts,
+                chip=worker.chip_id,
+                error=error.kind.value,
+                backoff=backoff,
+                not_before=job.not_before,
+            )
         heapq.heappush(self._queue, (job.sort_key(), job))
         self._queued_count += 1
         self.telemetry.count("retried")
@@ -553,8 +621,15 @@ class ExecutionService:
         if (job.deadline is not None
                 and worker.elapsed - job.submitted_at > job.deadline):
             return self._finish_unserved(job, JobState.EXPIRED, "expired")
+        job_span = self._job_spans.get(job.job_id)
         if job.attempts > 0 and worker.chip_id != job.last_chip:
             self.telemetry.count("migrated")
+            if job_span is not None:
+                job_span.add_event(
+                    "migrate",
+                    from_chip=job.last_chip,
+                    to_chip=worker.chip_id,
+                )
         job.state = JobState.RUNNING
         # Chips run in parallel: a chip whose local clock lags the job's
         # submission time was simply idle in fleet wall time, so it sits
@@ -566,9 +641,87 @@ class ExecutionService:
         if worker.elapsed < resume_at:
             worker.session.backend.incubate(resume_at - worker.elapsed)
         started_at = worker.elapsed
+        if job_span is not None:
+            job_span.add_event(
+                "dispatch", chip=worker.chip_id, attempt=job.attempts + 1
+            )
         routing_before = getattr(
             worker.session.backend, "routing_totals", None
         )
+        # The attempt span runs on the WORKER's chip clock (per-attempt
+        # chip seconds), while the job root span runs on the fleet
+        # clock; the span is parented explicitly because the root span
+        # is never made ambient (submit returns before any chip runs).
+        with tracing.span(
+            "attempt",
+            parent=job_span,
+            attributes={"attempt": job.attempts + 1, "chip": worker.chip_id},
+            clock=lambda: worker.elapsed,
+        ) as attempt_span:
+            run, error, cache_hit = self._run_attempt(job, worker)
+            finished_at = worker.elapsed
+            if (error is None
+                    and self.config.job_timeout is not None
+                    and finished_at - started_at > self.config.job_timeout):
+                error = JobError(
+                    kind=ErrorKind.TIMEOUT,
+                    message=(
+                        f"attempt took {finished_at - started_at:.3f}s, over "
+                        f"the {self.config.job_timeout:.3f}s job timeout"
+                    ),
+                    chip_id=worker.chip_id,
+                    attempts=job.attempts + 1,
+                )
+                run = None  # past-budget results are discarded, not trusted
+                self.telemetry.count("timeout")
+            if attempt_span.recording:
+                attempt_span.set_attribute("cache_hit", cache_hit)
+                if error is not None:
+                    error.trace_id = attempt_span.trace_id
+                    error.span_id = attempt_span.span_id
+                    attempt_span.set_attribute("error.kind", error.kind.value)
+                    attempt_span.set_error(error.message)
+        if routing_before is not None:
+            # per-job planner cost = the chip's cumulative routing
+            # totals across the attempt (retries observe each attempt)
+            routing_after = worker.session.backend.routing_totals
+            self.telemetry.observe_routing({
+                key: routing_after[key] - routing_before[key]
+                for key in routing_after
+            })
+        worker.jobs_done += 1
+        worker.busy_time += finished_at - started_at
+        self._account_chip_health(worker, error)
+        if (error is not None
+                and error.retryable
+                and job.attempts < self.config.max_retries):
+            self._requeue_for_retry(job, worker, error)
+            return None
+        state = JobState.DONE if error is None else JobState.FAILED
+        job.state = state
+        self.telemetry.count("completed" if error is None else "failed")
+        result = JobResult(
+            job_id=job.job_id,
+            state=state,
+            protocol_name=getattr(job.protocol, "name", ""),
+            run=run,
+            error=error,
+            chip_id=worker.chip_id,
+            cache_hit=cache_hit,
+            submitted_at=job.submitted_at,
+            started_at=started_at,
+            finished_at=finished_at,
+            attempts=job.attempts + 1,
+        )
+        self.telemetry.observe_served(result)
+        return self._resolve(job, result)
+
+    def _run_attempt(self, job, worker):
+        """One guarded execution of ``job`` on ``worker``'s chip.
+
+        Returns ``(run, error, cache_hit)``; never raises -- every
+        failure mode is folded into a structured :class:`JobError`.
+        """
         run = None
         error = None
         cache_hit = False
@@ -599,55 +752,7 @@ class ExecutionService:
             # The sweep must run no matter how dispatch failed --
             # leftover cages would poison the chip for every later job.
             self._sweep(worker, handles)
-        finished_at = worker.elapsed
-        if routing_before is not None:
-            # per-job planner cost = the chip's cumulative routing
-            # totals across the attempt (retries observe each attempt)
-            routing_after = worker.session.backend.routing_totals
-            self.telemetry.observe_routing({
-                key: routing_after[key] - routing_before[key]
-                for key in routing_after
-            })
-        worker.jobs_done += 1
-        worker.busy_time += finished_at - started_at
-        if (error is None
-                and self.config.job_timeout is not None
-                and finished_at - started_at > self.config.job_timeout):
-            error = JobError(
-                kind=ErrorKind.TIMEOUT,
-                message=(
-                    f"attempt took {finished_at - started_at:.3f}s, over "
-                    f"the {self.config.job_timeout:.3f}s job timeout"
-                ),
-                chip_id=worker.chip_id,
-                attempts=job.attempts + 1,
-            )
-            run = None  # past-budget results are discarded, not trusted
-            self.telemetry.count("timeout")
-        self._account_chip_health(worker, error)
-        if (error is not None
-                and error.retryable
-                and job.attempts < self.config.max_retries):
-            self._requeue_for_retry(job, worker, error)
-            return None
-        state = JobState.DONE if error is None else JobState.FAILED
-        job.state = state
-        self.telemetry.count("completed" if error is None else "failed")
-        result = JobResult(
-            job_id=job.job_id,
-            state=state,
-            protocol_name=getattr(job.protocol, "name", ""),
-            run=run,
-            error=error,
-            chip_id=worker.chip_id,
-            cache_hit=cache_hit,
-            submitted_at=job.submitted_at,
-            started_at=started_at,
-            finished_at=finished_at,
-            attempts=job.attempts + 1,
-        )
-        self.telemetry.observe_served(result)
-        return self._resolve(job, result)
+        return run, error, cache_hit
 
     @staticmethod
     def _sweep(worker, handles):

@@ -92,22 +92,31 @@ class Histogram:
         rank = max(1, -(-p * len(ordered) // 100))  # ceil without math
         return ordered[int(rank) - 1]
 
+    #: What :meth:`summary` reports before any observation -- one
+    #: structural guard instead of per-field conditionals, so empty
+    #: histograms can never divide by zero or index an empty list
+    #: (``report()`` renders a fresh service's tables safely).
+    EMPTY_SUMMARY = {
+        "count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        "max": 0.0,
+    }
+
     def summary(self) -> dict:
         """count/mean/p50/p90/p99/max of the observations so far."""
         samples = sorted(self._snapshot())
+        if not samples:
+            return dict(self.EMPTY_SUMMARY)
 
         def nearest_rank(p):
-            if not samples:
-                return 0.0
             return samples[int(max(1, -(-p * len(samples) // 100))) - 1]
 
         return {
             "count": len(samples),
-            "mean": sum(samples) / len(samples) if samples else 0.0,
+            "mean": sum(samples) / len(samples),
             "p50": nearest_rank(50),
             "p90": nearest_rank(90),
             "p99": nearest_rank(99),
-            "max": samples[-1] if samples else 0.0,
+            "max": samples[-1],
         }
 
 
@@ -234,6 +243,108 @@ class Telemetry:
                 },
             }
         return snap
+
+    def to_prometheus(self, fleet=None, namespace="repro") -> str:
+        """Render every meter in the Prometheus text exposition format.
+
+        Counters become one labelled ``{namespace}_jobs_total`` family
+        (``event="submitted"`` ...); the latency histograms export as
+        summaries (``quantile`` labels plus ``_sum``/``_count``);
+        routing totals and -- with ``fleet`` given -- per-chip
+        utilization/health/restart gauges follow.  Safe on a fresh
+        service: empty histograms render zero-valued summaries instead
+        of dividing by zero.
+        """
+        snap = self.snapshot(fleet=fleet)
+        lines = [
+            f"# HELP {namespace}_jobs_total Job lifecycle events.",
+            f"# TYPE {namespace}_jobs_total counter",
+        ]
+        for name, value in snap["counters"].items():
+            lines.append(f'{namespace}_jobs_total{{event="{name}"}} {value}')
+        lines += [
+            f"# HELP {namespace}_latency_seconds Job latency by stage.",
+            f"# TYPE {namespace}_latency_seconds summary",
+        ]
+        stages = [
+            ("queue_wait", snap["queue_wait"]),
+            ("service_time", snap["service_time"]),
+            ("routing_plan", snap["routing"]["plan_time"]),
+        ]
+        for stage, summary in stages:
+            for quantile, key in (("0.5", "p50"), ("0.9", "p90"),
+                                  ("0.99", "p99")):
+                lines.append(
+                    f'{namespace}_latency_seconds{{stage="{stage}",'
+                    f'quantile="{quantile}"}} {summary[key]:.9g}'
+                )
+            total = summary["mean"] * summary["count"]
+            lines.append(
+                f'{namespace}_latency_seconds_sum{{stage="{stage}"}} '
+                f"{total:.9g}"
+            )
+            lines.append(
+                f'{namespace}_latency_seconds_count{{stage="{stage}"}} '
+                f"{summary['count']}"
+            )
+        lines += [
+            f"# HELP {namespace}_routing_total Batch-planner work done.",
+            f"# TYPE {namespace}_routing_total counter",
+        ]
+        for metric, value in snap["routing"].items():
+            if metric == "plan_time":
+                continue
+            lines.append(
+                f'{namespace}_routing_total{{metric="{metric}"}} {value:.9g}'
+            )
+        if fleet is not None:
+            cache = snap["cache"]
+            fleet_snap = snap["fleet"]
+            lines += [
+                f"# HELP {namespace}_cache_events_total Program cache.",
+                f"# TYPE {namespace}_cache_events_total counter",
+            ]
+            for event in ("hits", "misses", "evictions"):
+                lines.append(
+                    f'{namespace}_cache_events_total{{event="{event}"}} '
+                    f"{cache[event]}"
+                )
+            lines += [
+                f"# HELP {namespace}_fleet_throughput_jobs_per_second "
+                f"Served jobs per fleet second.",
+                f"# TYPE {namespace}_fleet_throughput_jobs_per_second gauge",
+                f"{namespace}_fleet_throughput_jobs_per_second "
+                f"{fleet_snap['throughput']:.9g}",
+                f"# HELP {namespace}_chip_utilization Busy fraction per "
+                f"chip.",
+                f"# TYPE {namespace}_chip_utilization gauge",
+            ]
+            for chip_id, fraction in fleet_snap["utilization"].items():
+                lines.append(
+                    f'{namespace}_chip_utilization{{chip="{chip_id}"}} '
+                    f"{fraction:.9g}"
+                )
+            lines += [
+                f"# HELP {namespace}_chip_health Chip health "
+                f"(1 = in the labelled state).",
+                f"# TYPE {namespace}_chip_health gauge",
+            ]
+            for chip_id, health in fleet_snap["health"].items():
+                lines.append(
+                    f'{namespace}_chip_health{{chip="{chip_id}",'
+                    f'state="{health}"}} 1'
+                )
+            lines += [
+                f"# HELP {namespace}_chip_restarts_total Power cycles "
+                f"per chip.",
+                f"# TYPE {namespace}_chip_restarts_total counter",
+            ]
+            for chip_id, restarts in fleet_snap["restarts"].items():
+                lines.append(
+                    f'{namespace}_chip_restarts_total{{chip="{chip_id}"}} '
+                    f"{restarts}"
+                )
+        return "\n".join(lines) + "\n"
 
     def report(self, fleet=None) -> str:
         """Human-readable telemetry tables."""

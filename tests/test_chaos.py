@@ -21,6 +21,22 @@ N_CHIPS = 8
 N_JOBS = 16
 
 
+@pytest.fixture(autouse=True)
+def trace_integrity():
+    """Run every chaos test under a capturing tracer and assert the
+    trace closed clean: every started span ended exactly once, no
+    orphans (all parent ids resolve within the trace)."""
+    from repro.observability import tracing
+
+    with tracing.capture() as tracer:
+        yield tracer
+    assert tracer.open_count() == 0, tracer.open_spans()
+    assert tracer.started == tracer.ended
+    span_ids = {s["span_id"] for s in tracer.finished_spans}
+    for span in tracer.finished_spans:
+        assert span["parent_id"] is None or span["parent_id"] in span_ids
+
+
 def reference_run(protocol, grid):
     """Fault-free ground truth: the protocol on a pristine chip."""
     return Session.dry_run(grid=grid).run(protocol)

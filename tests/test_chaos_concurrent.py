@@ -31,6 +31,24 @@ N_WORKERS = 8
 N_JOBS = 16
 
 
+@pytest.fixture(autouse=True)
+def trace_integrity():
+    """Run every chaos test under a capturing tracer and assert the
+    trace closed clean: every started span ended exactly once, no
+    orphans (all parent ids resolve within the trace).  Fixtures do not
+    travel with the ``from test_chaos import ...`` above, so this is
+    re-declared here for the concurrent suite."""
+    from repro.observability import tracing
+
+    with tracing.capture() as tracer:
+        yield tracer
+    assert tracer.open_count() == 0, tracer.open_spans()
+    assert tracer.started == tracer.ended
+    span_ids = {s["span_id"] for s in tracer.finished_spans}
+    for span in tracer.finished_spans:
+        assert span["parent_id"] is None or span["parent_id"] in span_ids
+
+
 @pytest.mark.parametrize("seed", range(3))
 def test_chaos_concurrent_pool_under_seeded_faults(seed):
     from repro.workloads import hot_protocol_traffic
