@@ -509,3 +509,115 @@ def test_service_wall_clock_scaling(benchmark, wall_clock_workers):
     if wall_clock_workers >= 8:
         # the acceptance bar from the serving roadmap
         assert scaling >= 3.0
+
+
+# -- spatial multi-tenancy ----------------------------------------------------
+
+#: Co-residency per chip in the tenant run.  Four small-footprint leases
+#: tile comfortably on the 48x48 chip with the routing guard band.
+MAX_TENANTS = 4
+MT_JOBS = 8 if SMOKE else 32
+
+
+def _small_footprint_traffic():
+    from repro.workloads import small_footprint_traffic
+
+    grid = Biochip.small_chip().grid
+    return small_footprint_traffic(grid, MT_JOBS, seed=SEED)
+
+
+def _run_tenancy(jobs, max_tenants):
+    """One chip, virtual clock, ``max_tenants`` region leases per chip
+    (1 = exclusive occupancy, the pre-tenancy behaviour)."""
+    grid = Biochip.small_chip().grid
+    service = ExecutionService.dry_run(
+        ServiceConfig(
+            n_chips=1, max_tenants=max_tenants, max_queue_depth=None
+        ),
+        grid=grid,
+    )
+    host_start = time.perf_counter()
+    service.submit_many(jobs)
+    results = service.drain()
+    host_time = time.perf_counter() - host_start
+    snap = service.snapshot()
+    makespan = max(r.finished_at for r in results)
+    tenancy = snap.get("tenancy", {})
+    return {
+        "max_tenants": max_tenants,
+        "makespan": makespan,
+        "throughput": len(jobs) / makespan,
+        "host_time": host_time,
+        "completed": sum(1 for r in results if r.ok),
+        "merge_groups": tenancy.get("groups", 0),
+        "co_residency_max": tenancy.get("co_residency", {}).get("max", 1.0),
+        "frame_merge_ratio_mean": tenancy.get(
+            "frame_merge_ratio", {}
+        ).get("mean", 1.0),
+        "cache_hit_rate": snap["cache"]["hit_rate"],
+    }
+
+
+def test_service_multitenant_co_scheduling(benchmark, multitenant_enabled):
+    """Spatial multi-tenancy on a single chip: co-resident leases plus
+    frame merging vs exclusive occupancy (``--multitenant``).
+
+    The acceptance bar: >= 2x jobs/s on small-footprint traffic with
+    >= 4 co-resident tenants -- merged steps charge the chip once for
+    overlapping dwell, so throughput rises with the frame-merge ratio.
+    Appends a ``multitenant`` entry to ``BENCH_service.json``.
+    """
+    jobs = _small_footprint_traffic()
+    exclusive = _run_tenancy(jobs, 1)
+    tenant = benchmark(_run_tenancy, jobs, MAX_TENANTS)
+    speedup = tenant["throughput"] / exclusive["throughput"]
+
+    _merge_json({
+        "multitenant": {
+            "n_jobs": MT_JOBS,
+            "max_tenants": MAX_TENANTS,
+            "seed": SEED,
+            "exclusive": exclusive,
+            "tenant": tenant,
+            "speedup": speedup,
+            "frame_merge_ratio": tenant["frame_merge_ratio_mean"],
+        },
+    })
+
+    report(
+        ascii_table(
+            ["variant", "makespan", "jobs/s", "merge ratio", "co-res max"],
+            [
+                [
+                    "exclusive (1 tenant/chip)",
+                    format_seconds(exclusive["makespan"]),
+                    f"{exclusive['throughput']:.3f}",
+                    "--", "1",
+                ],
+                [
+                    f"leased ({MAX_TENANTS} tenants/chip)",
+                    format_seconds(tenant["makespan"]),
+                    f"{tenant['throughput']:.3f}",
+                    f"{tenant['frame_merge_ratio_mean']:.2f}",
+                    f"{tenant['co_residency_max']:.0f}",
+                ],
+                [
+                    "tenancy advantage",
+                    "--", f"{speedup:.1f}x", "--", "--",
+                ],
+            ],
+            title=(
+                f"multi-tenant serving, {MT_JOBS} small-footprint jobs "
+                f"on one chip; JSON -> {JSON_PATH.name} (key: multitenant)"
+            ),
+        )
+    )
+    # correctness invariants hold even in smoke
+    assert exclusive["completed"] == len(jobs)
+    assert tenant["completed"] == len(jobs)
+    assert tenant["merge_groups"] >= 1
+    if SMOKE:
+        return  # smoke job: fail on crash, not on perf regression
+    # the acceptance bar: co-residency at least doubles throughput
+    assert tenant["co_residency_max"] >= 4.0
+    assert speedup >= 2.0

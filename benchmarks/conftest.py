@@ -31,6 +31,12 @@ def pytest_addoption(parser):
         default=8,
         help="pool size for the wall-clock benchmark (compared to 1)",
     )
+    parser.addoption(
+        "--multitenant",
+        action="store_true",
+        default=False,
+        help="run the multi-tenant co-scheduling benchmark too",
+    )
 
 
 @pytest.fixture
@@ -48,6 +54,15 @@ def wall_clock_workers(request):
     if not request.config.getoption("--wall-clock"):
         pytest.skip("wall-clock benchmark: enable with --wall-clock")
     return int(request.config.getoption("--workers"))
+
+
+@pytest.fixture
+def multitenant_enabled(request):
+    """Gate for the multi-tenant co-scheduling benchmark: opt in with
+    ``--multitenant``."""
+    if not request.config.getoption("--multitenant"):
+        pytest.skip("multi-tenant benchmark: enable with --multitenant")
+    return True
 
 
 def report(text):

@@ -78,6 +78,18 @@ class Backend:
             f"{type(self).__name__} does not support isolated spawning"
         )
 
+    def set_region(self, origin=None, rows=None, cols=None):
+        """Clip this backend to a rectangular lease window (spatial
+        multi-tenancy); ``set_region(None)`` restores the whole array.
+
+        Optional: backends that cannot enforce a region must leave this
+        unimplemented, and the scheduler then falls back to exclusive
+        dispatch.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support region leasing"
+        )
+
 
 @dataclass
 class SimulatorBackend(Backend):
@@ -128,6 +140,9 @@ class SimulatorBackend(Backend):
         # pristine chip (fresh cages, clock, RNG) with identical config.
         return SimulatorBackend(dataclasses.replace(self.chip))
 
+    def set_region(self, origin=None, rows=None, cols=None):
+        self.chip.set_region(origin, rows, cols)
+
 
 @dataclass
 class DryRunBackend(Backend):
@@ -156,6 +171,7 @@ class DryRunBackend(Backend):
         self._sites = {}  # (row, col) -> cage_id
         self._cages = {}  # cage_id -> [site, payload]
         self._next_id = 0
+        self._region = None  # (r0, c0, r1, c1) lease window
 
     @property
     def history(self):
@@ -170,9 +186,40 @@ class DryRunBackend(Backend):
         self.elapsed += duration
         self._history.append((self.elapsed, kind, detail))
 
+    def set_region(self, origin=None, rows=None, cols=None):
+        """Clip the backend to a lease window (see
+        :meth:`Biochip.set_region <repro.core.platform.Biochip.set_region>`);
+        sites outside it are rejected like out-of-bounds ones."""
+        if origin is None:
+            self._region = None
+            return
+        r0, c0 = int(origin[0]), int(origin[1])
+        rows = int(rows)
+        cols = int(cols)
+        if rows < 1 or cols < 1:
+            raise ValueError(f"region must be >= 1x1, got {rows}x{cols}")
+        if (r0 < 0 or c0 < 0 or r0 + rows > self.grid.rows
+                or c0 + cols > self.grid.cols):
+            raise ValueError(
+                f"region {(r0, c0)}+{rows}x{cols} exceeds the "
+                f"{self.grid.rows}x{self.grid.cols} array"
+            )
+        self._region = (r0, c0, r0 + rows, c0 + cols)
+
+    def _check_region(self, site, what="cage site"):
+        if self._region is None:
+            return
+        r0, c0, r1, c1 = self._region
+        if not (r0 <= site[0] < r1 and c0 <= site[1] < c1):
+            raise ExecutionError(
+                f"{what} {tuple(site)} outside leased region "
+                f"[{r0}:{r1}, {c0}:{c1}]"
+            )
+
     def _check_site(self, site, ignore_id=None):
         if not self.grid.in_bounds(*site):
             raise ExecutionError(f"cage site {site} out of bounds")
+        self._check_region(site)
         radius = self.min_separation - 1
         row, col = site
         for dr in range(-radius, radius + 1):
@@ -234,6 +281,7 @@ class DryRunBackend(Backend):
             self._cage(cage_id)
             if not self.grid.in_bounds(*goal):
                 raise ExecutionError(f"cage {cage_id}: goal {goal} out of bounds")
+            self._check_region(goal, f"cage {cage_id}: goal")
             resolved[cage_id] = goal
         # Validate the full post-move state (collisions and the
         # separation rule, against both movers and stationary cages)

@@ -106,6 +106,8 @@ class Biochip:
         self._history = []
         self.faults = None  # FaultModel installed by apply_faults
         self._sensor_quarantine = None
+        self._region = None         # (r0, c0, r1, c1) lease window
+        self._region_block = None   # bool mask, True outside the lease
         self._routing_totals = {
             "plans": 0,
             "cages_planned": 0,
@@ -193,6 +195,64 @@ class Biochip:
         """The dead-electrode mask for routing, or None when clean."""
         state = self.cages.state
         return state.dead if state.has_dead else None
+
+    # -- spatial tenancy ---------------------------------------------------
+
+    def set_region(self, origin=None, rows=None, cols=None):
+        """Clip this chip to a rectangular lease window.
+
+        Every trap/move goal and every routed path must stay inside the
+        window; electrodes outside it are hard-blocked for routing, as
+        if they belonged to another chip.  ``set_region(None)`` (or a
+        fresh :meth:`spawn <repro.core.backend.Backend.spawn>`) restores
+        whole-array access.  Addressing a site outside the lease is the
+        *job's* bug (a placement/footprint error), so it raises
+        :class:`~repro.core.errors.ExecutionError`, not a retryable
+        :class:`~repro.core.errors.ChipFault`.
+        """
+        if origin is None:
+            self._region = None
+            self._region_block = None
+            return
+        r0, c0 = int(origin[0]), int(origin[1])
+        rows = int(rows)
+        cols = int(cols)
+        if rows < 1 or cols < 1:
+            raise ValueError(f"region must be >= 1x1, got {rows}x{cols}")
+        if (r0 < 0 or c0 < 0 or r0 + rows > self.grid.rows
+                or c0 + cols > self.grid.cols):
+            raise ValueError(
+                f"region {(r0, c0)}+{rows}x{cols} exceeds the "
+                f"{self.grid.rows}x{self.grid.cols} array"
+            )
+        self._region = (r0, c0, r0 + rows, c0 + cols)
+        block = np.ones((self.grid.rows, self.grid.cols), dtype=bool)
+        block[r0:r0 + rows, c0:c0 + cols] = False
+        self._region_block = block
+
+    def _in_region(self, site) -> bool:
+        if self._region is None:
+            return True
+        r0, c0, r1, c1 = self._region
+        return r0 <= site[0] < r1 and c0 <= site[1] < c1
+
+    def _check_region(self, site, what):
+        if not self._in_region(site):
+            r0, c0, r1, c1 = self._region
+            raise ExecutionError(
+                f"{what} {tuple(site)} outside leased region "
+                f"[{r0}:{r1}, {c0}:{c1}]"
+            )
+
+    def _blocked_mask(self):
+        """Hard-blocked electrodes for routing: dead pixels plus
+        everything outside the leased region (when one is set)."""
+        dead = self._dead_mask()
+        if self._region_block is None:
+            return dead
+        if dead is None:
+            return self._region_block
+        return dead | self._region_block
 
     # -- physics views -----------------------------------------------------
 
@@ -314,6 +374,7 @@ class Biochip:
         Physical trapping time: the particle must sediment/drift into
         the cage, modelled as a fixed settle time.
         """
+        self._check_region(site, "trap site")
         try:
             cage = self.cages.create(site, payload=particle)
         except DeadElectrodeError as exc:
@@ -369,6 +430,7 @@ class Biochip:
         """
         cage = self.cages.cage(cage_id)
         goal = tuple(goal)
+        self._check_region(goal, f"cage {cage_id}: goal")
         dead = self._dead_mask()
         if dead is not None and self.grid.in_bounds(*goal) and dead[goal]:
             raise ChipFault(
@@ -378,7 +440,7 @@ class Biochip:
             self.grid,
             self.cages.state.obstacle_mask(exclude_site=cage.site),
             separation=self.min_separation,
-            hard_mask=dead,
+            hard_mask=self._blocked_mask(),
         )
         try:
             path = astar_route(self.grid, cage.site, goal, obstacles)
@@ -443,6 +505,7 @@ class Biochip:
             goal = tuple(goal)
             if not self.grid.in_bounds(*goal):
                 raise ExecutionError(f"cage {cage_id}: goal {goal} out of bounds")
+            self._check_region(goal, f"cage {cage_id}: goal")
             if dead is not None and dead[goal]:
                 raise ChipFault(
                     f"cage {cage_id}: goal {goal} is a dead electrode"
@@ -466,7 +529,8 @@ class Biochip:
             return (request.cage_id in moving, -distance)
 
         router = WavefrontRouter(
-            self.grid, min_separation=self.min_separation, blocked=dead
+            self.grid, min_separation=self.min_separation,
+            blocked=self._blocked_mask(),
         )
         try:
             plan = router.plan(requests, priority=priority)
@@ -536,6 +600,8 @@ class Biochip:
             candidate = (row + dr, col + dc)
             if not self.grid.in_bounds(*candidate):
                 continue
+            if not self._in_region(candidate):
+                continue
             state = self.cages.state
             if state.has_dead and state.dead[candidate]:
                 continue
@@ -597,6 +663,8 @@ class Biochip:
                        (1, 1), (1, -1), (-1, 1), (-1, -1)):
             cand = (row + dr, col + dc)
             if not self.grid.in_bounds(*cand):
+                continue
+            if not self._in_region(cand):
                 continue
             if state.has_dead and state.dead[cand]:
                 continue

@@ -85,6 +85,11 @@ class FaultInjector(Backend):
     def routing_totals(self):
         return self.backend.routing_totals
 
+    def set_region(self, origin=None, rows=None, cols=None):
+        # Pure delegation, never rolled: leasing is a scheduler action,
+        # not a chip operation a transient glitch could hit.
+        self.backend.set_region(origin, rows, cols)
+
     # -- fault processes ----------------------------------------------------
 
     def _roll(self, op):

@@ -63,6 +63,8 @@ from .fleet import (
     DispatchPolicy,
     Fleet,
     LeastLoadedPolicy,
+    RegionLease,
+    RegionLeaseAllocator,
     RoundRobinPolicy,
     make_policy,
 )
@@ -77,6 +79,14 @@ from .jobs import (
 )
 from .scheduler import ADMISSION_POLICIES, ExecutionService, ServiceConfig
 from .telemetry import Counter, Histogram, Telemetry
+from .tenancy import (
+    Footprint,
+    LeasedBackend,
+    frame_merge_ratio,
+    merged_group_time,
+    protocol_footprint,
+    routing_separation,
+)
 
 #: Explicit so ``import *`` exports the API, not the submodule objects
 #: (cache, fleet, ...) that the imports above bind in package globals.
@@ -98,22 +108,30 @@ __all__ = [
     "ErrorKind",
     "ExecutionService",
     "Fleet",
+    "Footprint",
     "Histogram",
     "Job",
     "JobError",
     "JobHandle",
     "JobResult",
     "JobState",
+    "LeasedBackend",
     "LeastLoadedPolicy",
     "POLICIES",
     "ProgramCache",
+    "RegionLease",
+    "RegionLeaseAllocator",
     "RoundRobinPolicy",
     "SenseTap",
     "ServiceConfig",
     "Telemetry",
     "WallClock",
     "classify_error",
+    "frame_merge_ratio",
     "make_policy",
+    "merged_group_time",
     "program_key",
+    "protocol_footprint",
     "rebind_program",
+    "routing_separation",
 ]

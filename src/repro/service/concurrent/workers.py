@@ -44,11 +44,20 @@ import threading
 import time
 from dataclasses import dataclass
 
+from ...core.backend import Backend
 from ...core.errors import BiochipError, ServiceError
 from ...core.session import Session, sweep_handles
 from ...faults import FaultInjector, FaultModel, FleetFaultPlan
 from ...observability import tracing
 from ..cache import ProgramCache
+from ..fleet import RegionLeaseAllocator
+from ..tenancy import (
+    LeasedBackend,
+    frame_merge_ratio,
+    merged_group_time,
+    protocol_footprint,
+    routing_separation,
+)
 from ..jobs import (
     ErrorKind,
     Job,
@@ -123,6 +132,15 @@ class ConcurrentConfig:
         bounds shutdown/quarantine responsiveness.
     mp_context:
         ``multiprocessing`` start method for ``mode="process"``.
+    max_tenants:
+        Co-residency bound per chip (mirrors the virtual tier's): a
+        worker may pull up to this many compatible jobs at once, run
+        each in a disjoint leased region of its chip, and pace the
+        whole group to the *merged* frame time.  1 (default) disables
+        multi-tenancy.
+    lease_margin:
+        Clearance rows/cols added around a tenant's protocol footprint
+        inside its leased window.
     """
 
     n_workers: int = 4
@@ -138,6 +156,8 @@ class ConcurrentConfig:
     time_scale: float | None = None
     poll_interval: float = 0.02
     mp_context: str = "spawn"
+    max_tenants: int = 1
+    lease_margin: int = 3
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -172,6 +192,14 @@ class ConcurrentConfig:
         if self.poll_interval <= 0.0:
             raise ValueError(
                 f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.max_tenants < 1:
+            raise ValueError(
+                f"max_tenants must be >= 1, got {self.max_tenants}"
+            )
+        if self.lease_margin < 0:
+            raise ValueError(
+                f"lease_margin must be >= 0, got {self.lease_margin}"
             )
 
 
@@ -208,6 +236,13 @@ class _WorkerRuntime:
         self.restarts = 0
         self.streak = 0
         self._current_job_id = None
+        # Faults injected into leased per-tenant views (their injectors
+        # are discarded with the views, so the tallies live here).
+        self._leased_faults = {}
+        self._can_lease = (
+            config.max_tenants > 1
+            and type(template).set_region is not Backend.set_region
+        )
         # Process mode only: the local tracer's in-memory exporter;
         # finished span dicts are drained into each outcome message so
         # the coordinator can ingest them into the parent trace.
@@ -234,12 +269,17 @@ class _WorkerRuntime:
         )
 
     def _fault_counters(self) -> dict:
-        return dict(self.injector.counters) if self.injector else {}
+        totals = dict(self._leased_faults)
+        if self.injector is not None:
+            for name, value in self.injector.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
 
     def _restart(self) -> dict:
         """Power-cycle this worker's chip; returns the retired fault
         counters of the old incarnation."""
         retired = self._fault_counters()
+        self._leased_faults = {}
         self.restarts += 1
         self.streak = 0
         self.cache.clear()  # chip memory is wiped with the chip
@@ -278,34 +318,68 @@ class _WorkerRuntime:
                 continue
             if item is None:  # graceful-shutdown sentinel
                 break
-            job, allow_bounce = item
-            # Steering: prefer hardware the job has never failed on.  A
-            # bounce sends the job back through the coordinator (which
-            # bounds bounces), so another worker picks it up.
-            if allow_bounce and self.worker_id in job.tried_chips:
-                self._send(("bounced", self.worker_id, job.job_id))
-                continue
-            now = self.clock.now()
-            if (job.deadline is not None
-                    and now - job.submitted_at > job.deadline):
-                self._send((
-                    "outcome", self.worker_id, job.job_id,
-                    {"expired": True, "started_at": now, "finished_at": now,
-                     "faults": self._fault_counters()},
-                ))
-                continue
-            self._send(("started", self.worker_id, job.job_id, now))
-            outcome = self._attempt(job)
-            error = outcome["error"]
-            if error is None:
-                self.streak = 0
-            elif error.retryable:
-                self.streak += 1
-            self._send(("outcome", self.worker_id, job.job_id, outcome))
-            threshold = self.config.quarantine_after
-            if threshold is not None and self.streak >= threshold:
-                self._quarantine_and_recover()
+            items = [item]
+            stop_after = False
+            # Tenancy lanes: opportunistically pull more ready work and
+            # co-schedule it in disjoint leased regions of this chip.
+            while self._can_lease and len(items) < self.config.max_tenants:
+                try:
+                    extra = self.ready_q.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    stop_after = True
+                    break
+                items.append(extra)
+            runnable = []
+            for job, allow_bounce in items:
+                # Steering: prefer hardware the job has never failed
+                # on.  A bounce sends the job back through the
+                # coordinator (which bounds bounces), so another worker
+                # picks it up.
+                if allow_bounce and self.worker_id in job.tried_chips:
+                    self._send(("bounced", self.worker_id, job.job_id))
+                    continue
+                now = self.clock.now()
+                if (job.deadline is not None
+                        and now - job.submitted_at > job.deadline):
+                    self._send((
+                        "outcome", self.worker_id, job.job_id,
+                        {"expired": True, "started_at": now,
+                         "finished_at": now,
+                         "faults": self._fault_counters()},
+                    ))
+                    continue
+                runnable.append(job)
+            leased, solo = [], runnable
+            if len(runnable) > 1:
+                leased, solo = self._partition_lease(runnable)
+            if len(leased) == 1:
+                # A lone leasable job gains nothing from the leased
+                # path; run it on the worker's own chip as usual.
+                solo = [leased[0][0]] + solo
+                leased = []
+            if leased:
+                self._run_group(leased)
+            for job in solo:
+                self._serve(job)
+            if stop_after:
+                break
         self._send(("stopped", self.worker_id, self._fault_counters()))
+
+    def _serve(self, job):
+        """One exclusive job: attempt, streak accounting, quarantine."""
+        self._send(("started", self.worker_id, job.job_id, self.clock.now()))
+        outcome = self._attempt(job)
+        error = outcome["error"]
+        if error is None:
+            self.streak = 0
+        elif error.retryable:
+            self.streak += 1
+        self._send(("outcome", self.worker_id, job.job_id, outcome))
+        threshold = self.config.quarantine_after
+        if threshold is not None and self.streak >= threshold:
+            self._quarantine_and_recover()
 
     def _attempt(self, job) -> dict:
         """Run one attempt of ``job`` on this worker's chip."""
@@ -397,6 +471,197 @@ class _WorkerRuntime:
             "started_at": started,
             "finished_at": finished,
             "chip_seconds": chip_seconds,
+            "expired": False,
+            "faults": self._fault_counters(),
+        }
+        if self.span_buffer is not None:
+            outcome["spans"] = self.span_buffer.drain()
+        return outcome
+
+    # -- multi-tenant lanes --------------------------------------------------
+
+    def _partition_lease(self, jobs):
+        """Split ``jobs`` into leased ``(job, lease, offset)`` tenants
+        and jobs that must run exclusively (no static footprint, or no
+        window left on this chip)."""
+        grid = self.template.grid
+        allocator = RegionLeaseAllocator(
+            grid.rows, grid.cols,
+            guard=routing_separation(self.template),
+            chip_id=self.worker_id,
+        )
+        margin = self.config.lease_margin
+        leased, solo = [], []
+        for job in jobs:
+            footprint = protocol_footprint(job.protocol)
+            lease = None
+            if footprint is not None:
+                lease = allocator.allocate(
+                    footprint.rows + 2 * margin,
+                    footprint.cols + 2 * margin,
+                )
+            if lease is None:
+                solo.append(job)
+                continue
+            offset = (
+                lease.origin[0] + margin - footprint.row0,
+                lease.origin[1] + margin - footprint.col0,
+            )
+            leased.append((job, lease, offset))
+        return leased, solo
+
+    def _run_group(self, leased):
+        """Run a lease group: each tenant on its own leased view, the
+        whole group paced once to the merged frame time."""
+        group_started = self.clock.now()
+        for job, __, __ in leased:
+            self._send(
+                ("started", self.worker_id, job.job_id, group_started)
+            )
+        outcomes = []
+        for job, lease, offset in leased:
+            outcomes.append(
+                (job, self._leased_attempt(job, lease, offset, group_started))
+            )
+        group_time = merged_group_time(
+            [outcome["chip_seconds"] for __, outcome in outcomes],
+            [outcome["program_time"] for __, outcome in outcomes],
+        )
+        scale = self.config.time_scale
+        if scale:
+            # One pacing sleep for the whole group: concurrent tenants
+            # share the chip's wall time, which is what multi-tenancy
+            # buys.
+            target = group_time * scale
+            spent = self.clock.now() - group_started
+            if target > spent:
+                time.sleep(target - spent)
+        finished = self.clock.now()
+        ratio = frame_merge_ratio(
+            [outcome["frames"] for __, outcome in outcomes]
+        )
+        self._send(
+            ("merged", self.worker_id, len(outcomes), ratio, group_time)
+        )
+        budget = self.config.job_timeout
+        for job, outcome in outcomes:
+            outcome["finished_at"] = finished
+            outcome["merged"] = len(outcomes)
+            if (outcome["error"] is None and budget is not None
+                    and finished - group_started > budget):
+                outcome["error"] = JobError(
+                    kind=ErrorKind.TIMEOUT,
+                    message=(
+                        f"attempt took {finished - group_started:.3f}s, over "
+                        f"the {budget:.3f}s job timeout"
+                    ),
+                    chip_id=self.worker_id,
+                    attempts=job.attempts + 1,
+                )
+                outcome["run"] = None
+            error = outcome["error"]
+            if error is None:
+                self.streak = 0
+            elif error.retryable:
+                self.streak += 1
+            self._send(("outcome", self.worker_id, job.job_id, outcome))
+        threshold = self.config.quarantine_after
+        if threshold is not None and self.streak >= threshold:
+            self._quarantine_and_recover()
+
+    def _leased_attempt(self, job, lease, offset, started) -> dict:
+        """One tenant's attempt on a fresh leased view of this chip.
+
+        The view is spawned from the template (same defect map when a
+        fault plan is active; transient stream seeded per tenant), its
+        region clipped to the lease, and wrapped in a
+        :class:`LeasedBackend` so the job executes in its own protocol
+        coordinates -- events and results come out bit-identical to an
+        exclusive run.
+        """
+        view = self.template.spawn()
+        view.set_region(lease.origin, lease.rows, lease.cols)
+        inner = view
+        if self.plan is not None:
+            grid = view.grid
+            model = self.plan.model_for(
+                self.worker_id, (grid.rows, grid.cols)
+            )
+            inner = FaultInjector(
+                view, model,
+                seed=(self.plan.seed, self.worker_id, self.restarts,
+                      job.job_id),
+            )
+        leased_backend = LeasedBackend(inner, offset=offset)
+        session = Session(
+            SenseTap(leased_backend, self._on_sense), registry=self.registry
+        )
+        run = None
+        error = None
+        cache_hit = False
+        handles = {}
+        self._current_job_id = job.job_id
+        with tracing.span(
+            "attempt",
+            parent=(job.trace_id, job.root_span_id),
+            attributes={
+                "attempt": job.attempts + 1,
+                "chip": self.worker_id,
+                "leased": True,
+                "lease": f"{lease.origin}+{lease.rows}x{lease.cols}",
+            },
+            clock=self.clock.now,
+        ) as span:
+            try:
+                program, cache_hit = self.cache.get_or_compile(
+                    job.protocol, session, registry=self.registry,
+                    fingerprint=job.fingerprint,
+                )
+                run = session.run(program, handles=handles)
+            except BiochipError as exc:
+                error = classify_error(
+                    exc, chip_id=self.worker_id, attempts=job.attempts + 1
+                )
+            except Exception as exc:  # noqa: BLE001 -- same contract as
+                # the exclusive path
+                error = JobError(
+                    kind=ErrorKind.PERMANENT,
+                    message=f"unexpected {type(exc).__name__}: {exc}",
+                    cause=exc,
+                    chip_id=self.worker_id,
+                    attempts=job.attempts + 1,
+                )
+            finally:
+                sweep_handles(leased_backend, handles)
+                self._current_job_id = None
+            chip_seconds = leased_backend.elapsed
+            if span.recording:
+                span.set_attributes({
+                    "cache_hit": cache_hit,
+                    "chip_seconds": chip_seconds,
+                })
+                if error is not None:
+                    error.trace_id = span.trace_id
+                    error.span_id = span.span_id
+                    span.set_attribute("error.kind", error.kind.value)
+                    span.set_error(error.message)
+        if self.plan is not None:
+            for name, value in inner.counters.items():
+                self._leased_faults[name] = (
+                    self._leased_faults.get(name, 0) + value
+                )
+        if error is not None and self.strip_cause:
+            error.cause = None
+        outcome = {
+            "error": error,
+            "run": run,
+            "cache_hit": cache_hit,
+            "started_at": started,
+            "finished_at": started,  # patched after the group paces
+            "chip_seconds": chip_seconds,
+            "program_time": leased_backend.program_time,
+            "frames": leased_backend.frames,
+            "merged": 0,  # patched by _run_group's outcome loop
             "expired": False,
             "faults": self._fault_counters(),
         }
@@ -555,7 +820,7 @@ class _WorkerSlot:
         self.quarantined_at = None
         self.current_faults = {}
         self.retired_faults = {}
-        self.current_job_id = None  # job started but not yet resolved
+        self.current_job_ids = set()  # started but not yet resolved
         self.dead_strikes = 0       # consecutive liveness-check misses
 
     @property
@@ -634,12 +899,21 @@ class ConcurrentExecutionService:
         self._closed = False
         self._pump_stop = False
         # -- the pool --
+        # One ready queue PER worker: the coordinator steers each job
+        # to a chosen chip (fresh hardware for retries, warm program
+        # cache for repeats) instead of letting an arbitrary idle
+        # worker grab it.  Lane depth above 1 lets a worker pull a
+        # whole co-residency group at once.
         n = self.config.n_workers
+        lane_depth = max(1, self.config.max_tenants)
+        self._warm = {i: set() for i in range(n)}  # fingerprints per chip
         if self.config.mode == "process":
             import multiprocessing
 
             ctx = multiprocessing.get_context(self.config.mp_context)
-            self._ready_q = ctx.Queue(maxsize=n)
+            self._ready_qs = {
+                i: ctx.Queue(maxsize=lane_depth) for i in range(n)
+            }
             self._done_q = ctx.Queue()
             self._stop_event = ctx.Event()
             restart_events = [ctx.Event() for __ in range(n)]
@@ -648,7 +922,7 @@ class ConcurrentExecutionService:
                 ctx.Process(
                     target=_process_worker_main,
                     args=(i, template_backend, registry, self._plan,
-                          self.config, self.clock.epoch, self._ready_q,
+                          self.config, self.clock.epoch, self._ready_qs[i],
                           self._done_q, self._stop_event, restart_events[i],
                           trace),
                     daemon=True,
@@ -658,14 +932,16 @@ class ConcurrentExecutionService:
             ]
             self._runtimes = None  # live in the children
         else:
-            self._ready_q = queue.Queue(maxsize=n)
+            self._ready_qs = {
+                i: queue.Queue(maxsize=lane_depth) for i in range(n)
+            }
             self._done_q = queue.Queue()
             self._stop_event = threading.Event()
             restart_events = [threading.Event() for __ in range(n)]
             self._runtimes = [
                 _WorkerRuntime(
                     i, template_backend, registry, self._plan, self.config,
-                    self.clock, self._ready_q, self._done_q,
+                    self.clock, self._ready_qs[i], self._done_q,
                     self._stop_event, restart_events[i],
                 )
                 for i in range(n)
@@ -731,11 +1007,11 @@ class ConcurrentExecutionService:
                     self._finish_unserved(job, JobState.REJECTED, "rejected",
                                           "service shut down")
         self._await_outstanding(timeout)
-        for __ in self._workers:
+        for ready_q in self._ready_qs.values():
             try:
-                self._ready_q.put_nowait(None)  # one sentinel per worker
+                ready_q.put_nowait(None)  # one sentinel per worker
             except queue.Full:
-                break
+                pass
         deadline = time.monotonic() + timeout
         for slot in self._workers.values():
             slot.runner.join(max(0.1, deadline - time.monotonic()))
@@ -984,9 +1260,27 @@ class ConcurrentExecutionService:
         again (caller holds the lock)."""
         slot = self._workers[worker_id]
         slot.health = "dead"
-        job_id = slot.current_job_id
-        slot.current_job_id = None
-        if job_id is not None and job_id in self._inflight:
+        self._warm[worker_id].clear()
+        # Jobs still sitting in the dead worker's ready queue were
+        # never attempted; send them back to the heap for the
+        # survivors.
+        ready_q = self._ready_qs[worker_id]
+        while True:
+            try:
+                item = ready_q.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                continue
+            job, __ = item
+            if self._inflight.pop(job.job_id, None) is not None:
+                heapq.heappush(self._heap, (job.sort_key(), job))
+                self._queued_count += 1
+        job_ids = sorted(slot.current_job_ids)
+        slot.current_job_ids = set()
+        for job_id in job_ids:
+            if job_id not in self._inflight:
+                continue
             # Its in-flight attempt can never report an outcome; treat
             # the death as a retryable chip failure of that attempt.
             self._handle_outcome(worker_id, job_id, {
@@ -1025,27 +1319,94 @@ class ConcurrentExecutionService:
     def _accepting_count(self) -> int:
         return sum(1 for slot in self._workers.values() if slot.accepting)
 
+    def _select_worker(self, job, require_warm):
+        """Steer ``job`` to the best chip with lane capacity: fresh
+        hardware first (never failed this job), then a warm program
+        cache for its fingerprint, then the shortest backlog and the
+        least-busy chip.  None when no lane qualifies.
+
+        With ``require_warm``, a job whose fingerprint is warm on some
+        accepting chip is only placed on a warm one -- if all its warm
+        chips' lanes are full, None (the caller holds the job briefly
+        instead of re-compiling it cold elsewhere).  Fingerprints warm
+        nowhere are exempt (someone has to compile them first), and so
+        are retries: a job that already failed on a chip bounces to
+        fresh hardware even when its only warm cache is the chip that
+        just burned it -- fault isolation beats locality.
+        """
+        warm_anywhere = any(
+            job.fingerprint in self._warm[slot.worker_id]
+            for slot in self._workers.values()
+            if slot.accepting
+        )
+        hold_for_warm = require_warm and warm_anywhere and not job.tried_chips
+        best = None
+        best_key = None
+        for slot in self._workers.values():
+            if not slot.accepting:
+                continue
+            ready_q = self._ready_qs[slot.worker_id]
+            if ready_q.full():
+                continue
+            fresh = slot.worker_id not in job.tried_chips
+            warm = job.fingerprint in self._warm[slot.worker_id]
+            if hold_for_warm and not warm:
+                continue
+            key = (
+                not fresh, not warm, ready_q.qsize(),
+                slot.busy_time, slot.worker_id,
+            )
+            if best_key is None or key < best_key:
+                best, best_key = slot, key
+        return best
+
     def _refill(self):
-        """Feed the shared ready queue from the priority heap."""
+        """Feed the per-worker ready queues from the priority heap.
+
+        Two passes: the first places jobs only on chips warm for their
+        fingerprint (a job whose warm chip is momentarily full waits
+        for that lane rather than re-compiling cold elsewhere); the
+        second fills whatever lanes remain so no chip idles while work
+        is queued -- cache locality never costs utilization.
+        """
+        self._refill_pass(require_warm=True)
+        self._refill_pass(require_warm=False)
+
+    def _refill_pass(self, require_warm):
+        if not any(
+            slot.accepting and not self._ready_qs[slot.worker_id].full()
+            for slot in self._workers.values()
+        ):
+            return
+        skipped = []
         while self._heap:
-            if self._ready_q.full():
-                return
             __, job = heapq.heappop(self._heap)
             if job.state is not JobState.QUEUED:
                 continue  # shed after enqueue
+            slot = self._select_worker(job, require_warm)
+            if slot is None:
+                skipped.append(job)
+                if require_warm:
+                    continue  # held for its warm chip; try the next job
+                break  # no free lane at all
             allow_bounce = bool(
                 job.tried_chips
                 and self._bounces.get(job.job_id, 0) < len(self._workers)
                 and self._accepting_count() > 1
             )
             try:
-                self._ready_q.put_nowait((job, allow_bounce))
+                self._ready_qs[slot.worker_id].put_nowait((job, allow_bounce))
             except queue.Full:
-                heapq.heappush(self._heap, (job.sort_key(), job))
-                return
+                skipped.append(job)
+                break
             self._queued_count -= 1
             self._inflight[job.job_id] = job
+            # Optimistic: the worker will compile (or already holds)
+            # this fingerprint; cleared if the chip restarts or dies.
+            self._warm[slot.worker_id].add(job.fingerprint)
             self._capacity.notify_all()
+        for job in skipped:
+            heapq.heappush(self._heap, (job.sort_key(), job))
 
     def _handle_message(self, message):
         kind = message[0]
@@ -1054,7 +1415,7 @@ class ConcurrentExecutionService:
             __, worker_id, job_id, t = message
             job = self._inflight.get(job_id)
             handle = self._handles.get(job_id)
-            self._workers[worker_id].current_job_id = job_id
+            self._workers[worker_id].current_job_ids.add(job_id)
             if job is not None:
                 job.state = JobState.RUNNING
                 span = self._job_spans.get(job_id)
@@ -1082,6 +1443,16 @@ class ConcurrentExecutionService:
         elif kind == "outcome":
             __, worker_id, job_id, outcome = message
             self._handle_outcome(worker_id, job_id, outcome)
+        elif kind == "merged":
+            __, worker_id, tenants, ratio, group_time = message
+            self.telemetry.observe_tenancy(tenants, ratio)
+            self.telemetry.count("leased", tenants)
+            if tenants > 1:
+                self.telemetry.count("merged", tenants)
+            log.debug(
+                "worker %d merged %d tenants (ratio %.2f, %.3fs chip)",
+                worker_id, tenants, ratio, group_time,
+            )
         elif kind == "quarantined":
             __, worker_id, t = message
             slot = self._workers[worker_id]
@@ -1100,6 +1471,7 @@ class ConcurrentExecutionService:
         elif kind == "restarted":
             __, worker_id, t, retired = message
             slot = self._workers[worker_id]
+            self._warm[worker_id].clear()  # the restart wiped its cache
             slot.retire_faults(retired)
             slot.health = "healthy"
             slot.restarts += 1
@@ -1114,6 +1486,7 @@ class ConcurrentExecutionService:
             slot = self._workers[worker_id]
             slot.current_faults = counters
             slot.health = "stopped"
+            self._warm[worker_id].clear()
         elif kind == "worker_error":
             __, worker_id, detail = message
             self._mark_worker_dead(worker_id, detail)
@@ -1130,15 +1503,19 @@ class ConcurrentExecutionService:
         if job is None:
             return
         slot = self._workers[worker_id]
-        if slot.current_job_id == job_id:
-            slot.current_job_id = None
+        slot.current_job_ids.discard(job_id)
         if outcome.get("faults"):
             slot.current_faults = outcome["faults"]
         if outcome.get("expired"):
             self._finish_unserved(job, JobState.EXPIRED, "expired")
             return
         slot.jobs_done += 1
-        slot.busy_time += outcome["finished_at"] - outcome["started_at"]
+        # A merged group occupied the chip once; split the wall time
+        # across its tenants so utilization reflects chip occupancy.
+        slot.busy_time += (
+            (outcome["finished_at"] - outcome["started_at"])
+            / max(1, outcome.get("merged", 1))
+        )
         if outcome["cache_hit"]:
             self._cache_hits += 1
         else:
@@ -1246,6 +1623,11 @@ class ConcurrentExecutionService:
             snap["pool"] = {
                 "mode": self.config.mode,
                 "n_workers": len(self._workers),
+                "max_tenants": self.config.max_tenants,
+                "warm_fingerprints": {
+                    worker_id: len(warm)
+                    for worker_id, warm in self._warm.items()
+                },
                 "wall_time": now,
                 "throughput": served / now if now > 0.0 else 0.0,
                 "queue_depth": self._queued_count,

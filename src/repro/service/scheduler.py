@@ -30,16 +30,24 @@ from __future__ import annotations
 
 import heapq
 import logging
+from collections import deque
 from dataclasses import dataclass
 
-from ..core.backend import DryRunBackend, SimulatorBackend
+from ..core.backend import Backend, DryRunBackend, SimulatorBackend
 from ..core.errors import BiochipError, ServiceError
 from ..core.platform import Biochip
 from ..core.session import Session, sweep_handles
 from ..faults import FaultInjector, FaultModel, FleetFaultPlan
 from ..observability import tracing
 from .concurrent.syncbridge import FleetClock
-from .fleet import ChipHealth, Fleet, make_policy
+from .fleet import ChipHealth, Fleet, RegionLeaseAllocator, make_policy
+from .tenancy import (
+    LeasedBackend,
+    frame_merge_ratio,
+    merged_group_time,
+    protocol_footprint,
+    routing_separation,
+)
 from .jobs import (
     ErrorKind,
     Job,
@@ -100,6 +108,18 @@ class ServiceConfig:
         manual restarts only -- though the service will still restart
         the longest-benched chip rather than refuse a job when *every*
         chip is quarantined.
+    max_tenants:
+        Spatial multi-tenancy: how many jobs may co-reside on one chip
+        in disjoint leased windows, their concurrent moves merged into
+        shared frames.  1 (the default) is exclusive occupancy; > 1
+        enables region-leased co-scheduling for jobs with a static
+        footprint (whole-array protocols still run exclusively).
+    lease_margin:
+        Free electrodes added on every side of a tenant's protocol
+        footprint inside its lease -- routing slack for merge
+        approaches and detours.  The allocator additionally inflates
+        each window by the routing-separation guard band, so adjacent
+        tenants can never violate separation across a boundary.
     """
 
     n_chips: int = 4
@@ -112,6 +132,8 @@ class ServiceConfig:
     job_timeout: float | None = None
     quarantine_after: int | None = 3
     restart_cooldown: float | None = 30.0
+    max_tenants: int = 1
+    lease_margin: int = 3
 
     def __post_init__(self):
         if self.admission not in ADMISSION_POLICIES:
@@ -137,6 +159,14 @@ class ServiceConfig:
             raise ValueError(
                 f"restart_cooldown must be >= 0, got {self.restart_cooldown}"
             )
+        if self.max_tenants < 1:
+            raise ValueError(
+                f"max_tenants must be >= 1, got {self.max_tenants}"
+            )
+        if self.lease_margin < 0:
+            raise ValueError(
+                f"lease_margin must be >= 0, got {self.lease_margin}"
+            )
 
 
 class ExecutionService:
@@ -160,6 +190,9 @@ class ExecutionService:
         self.telemetry = Telemetry()
         self._queue = []  # heap of (sort_key, Job)
         self._queued_count = 0  # QUEUED entries (heap may hold shed ones)
+        # Terminal results of co-tenants that finished alongside another
+        # job's dispatch; later step() calls return them one at a time.
+        self._extra_results = deque()
         self._handles = {}  # job_id -> JobHandle
         self._job_spans = {}  # job_id -> live root Span (tracing on)
         self._next_id = 0
@@ -393,7 +426,13 @@ class ExecutionService:
         does terminalise.  Returns that job's :class:`JobResult`, or
         None when the queue is empty.  Termination is guaranteed:
         every re-queue burns one of a job's bounded retry budget.
+
+        Under multi-tenancy one dispatch may terminalise several
+        co-resident jobs at once; the extras are buffered and returned
+        by subsequent calls before any new dispatch happens.
         """
+        if self._extra_results:
+            return self._extra_results.popleft()
         self._maybe_restore_chips()
         deferred = []
         outcome = None
@@ -414,6 +453,10 @@ class ExecutionService:
                 continue
             self._queued_count -= 1
             outcome = self._dispatch(job)
+            if outcome is None and self._extra_results:
+                # the lead was re-queued for retry but a co-tenant of
+                # its lease group went terminal: return that instead
+                outcome = self._extra_results.popleft()
             if outcome is not None:
                 break  # terminal; None means re-queued retry
         for job in deferred:
@@ -645,6 +688,13 @@ class ExecutionService:
             job_span.add_event(
                 "dispatch", chip=worker.chip_id, attempt=job.attempts + 1
             )
+        if self.config.max_tenants > 1:
+            leased = self._try_lease(job, worker)
+            if leased is not None:
+                allocator, lease, offset = leased
+                return self._dispatch_leased(
+                    job, worker, allocator, lease, offset, started_at
+                )
         routing_before = getattr(
             worker.session.backend, "routing_totals", None
         )
@@ -715,6 +765,301 @@ class ExecutionService:
         )
         self.telemetry.observe_served(result)
         return self._resolve(job, result)
+
+    # -- multi-tenant dispatch ----------------------------------------------
+
+    def _try_lease(self, job, worker):
+        """A lease group seeded with ``job``: a fresh allocator for
+        ``worker``'s chip plus the lead tenant's window.  None falls
+        back to exclusive dispatch (backend cannot clip regions, the
+        job's footprint is unknown, or its window doesn't fit)."""
+        if type(self._template).set_region is Backend.set_region:
+            return None
+        grid = self._template.grid
+        allocator = RegionLeaseAllocator(
+            grid.rows, grid.cols,
+            guard=routing_separation(self._template),
+            chip_id=worker.chip_id,
+        )
+        leased = self._lease_for(job, allocator)
+        if leased is None:
+            return None
+        lease, offset = leased
+        return allocator, lease, offset
+
+    def _lease_for(self, job, allocator):
+        """``(lease, offset)`` for ``job``'s footprint, or None.
+
+        ``offset`` maps the job's own (protocol) coordinates into its
+        lease interior: lease origin plus the margin, minus the
+        footprint origin.
+        """
+        margin = self.config.lease_margin
+        footprint = protocol_footprint(job.protocol)
+        if footprint is None:
+            return None
+        lease = allocator.allocate(
+            footprint.rows + 2 * margin, footprint.cols + 2 * margin
+        )
+        if lease is None:
+            return None
+        offset = (
+            lease.origin[0] + margin - footprint.row0,
+            lease.origin[1] + margin - footprint.col0,
+        )
+        return lease, offset
+
+    def _collect_tenants(self, worker, started_at, allocator):
+        """Ready co-tenants for a lease group on ``worker``, in
+        priority order.
+
+        A queued job joins when it is ready at the group's start
+        (submitted, outside any backoff window), has never failed on
+        this chip, and a window for its footprint can still be leased;
+        everything else stays queued.  Deadline-expired jobs found on
+        the way terminalise exactly as :meth:`step` would, their
+        results buffered for later steps.
+        """
+        picked = []
+        passed = []
+        while self._queue and len(picked) < self.config.max_tenants - 1:
+            __, job = heapq.heappop(self._queue)
+            if job.state is not JobState.QUEUED:
+                continue
+            if (max(job.submitted_at, job.not_before) > started_at
+                    or worker.chip_id in job.tried_chips):
+                passed.append(job)
+                continue
+            if (job.deadline is not None
+                    and worker.elapsed - job.submitted_at > job.deadline):
+                self._queued_count -= 1
+                self._extra_results.append(
+                    self._finish_unserved(job, JobState.EXPIRED, "expired")
+                )
+                continue
+            leased = self._lease_for(job, allocator)
+            if leased is None:
+                passed.append(job)
+                continue
+            self._queued_count -= 1
+            picked.append((job, *leased))
+        for job in passed:
+            heapq.heappush(self._queue, (job.sort_key(), job))
+        return picked
+
+    def _dispatch_leased(self, lead, worker, allocator, lease, offset,
+                         started_at) -> JobResult | None:
+        """Run ``lead`` plus any ready co-tenants in disjoint leased
+        windows of ``worker``'s chip, frames merged.
+
+        Every tenant executes on its own region-clipped view, then the
+        group's chip time is charged ONCE: concurrent dwell overlaps,
+        electronics serializes (see
+        :func:`~repro.service.tenancy.merged_group_time`).  Returns the
+        lead's terminal result (None when it re-queued for retry);
+        co-tenant results land in the extra-results buffer.
+        """
+        tenants = [(lead, lease, offset)]
+        tenants += self._collect_tenants(worker, started_at, allocator)
+        attempts = []
+        for job, tenant_lease, tenant_offset in tenants:
+            span = self._job_spans.get(job.job_id)
+            if job is not lead:
+                job.state = JobState.RUNNING
+                if span is not None:
+                    span.add_event(
+                        "dispatch", chip=worker.chip_id,
+                        attempt=job.attempts + 1,
+                    )
+            self.telemetry.count("leased")
+            if span is not None:
+                span.add_event(
+                    "lease",
+                    chip=worker.chip_id,
+                    origin=tenant_lease.origin,
+                    rows=tenant_lease.rows,
+                    cols=tenant_lease.cols,
+                    guard=tenant_lease.guard,
+                )
+            attempts.append(
+                self._run_leased_attempt(
+                    job, worker, tenant_lease, tenant_offset, started_at
+                )
+            )
+            allocator.release(tenant_lease)
+        group_time = merged_group_time(
+            [a["duration"] for a in attempts],
+            [a["program_time"] for a in attempts],
+        )
+        if group_time > 0.0:
+            worker.session.backend.incubate(group_time)
+        worker.busy_time += group_time
+        ratio = frame_merge_ratio([a["frames"] for a in attempts])
+        self.telemetry.observe_tenancy(len(tenants), ratio)
+        if len(tenants) > 1:
+            self.telemetry.count("merged", len(tenants))
+        lead_outcome = None
+        for (job, __, __offset), attempt in zip(tenants, attempts):
+            resolved = self._settle_tenant(
+                job, worker, attempt, started_at,
+                tenants=len(tenants), ratio=ratio, group_time=group_time,
+            )
+            if resolved is None:
+                continue
+            if job is lead:
+                lead_outcome = resolved
+            else:
+                self._extra_results.append(resolved)
+        return lead_outcome
+
+    def _settle_tenant(self, job, worker, attempt, started_at, tenants,
+                       ratio, group_time) -> JobResult | None:
+        """Account one tenant's attempt; terminal result or None (the
+        tenant was evicted and re-queued for retry)."""
+        error = attempt["error"]
+        worker.jobs_done += 1
+        span = self._job_spans.get(job.job_id)
+        if span is not None:
+            span.add_event(
+                "frame_merge",
+                chip=worker.chip_id,
+                tenants=tenants,
+                ratio=ratio,
+                group_time=group_time,
+            )
+        self._account_chip_health(worker, error)
+        evicted = error is not None and error.retryable
+        if evicted:
+            # A fault (or timeout) inside one lease evicts only that
+            # tenant -- the rest of the group keeps its results.
+            self.telemetry.count("evicted")
+            if span is not None:
+                span.add_event(
+                    "evict", chip=worker.chip_id, error=error.kind.value
+                )
+            if job.attempts < self.config.max_retries:
+                self._requeue_for_retry(job, worker, error)
+                return None
+        state = JobState.DONE if error is None else JobState.FAILED
+        job.state = state
+        self.telemetry.count("completed" if error is None else "failed")
+        result = JobResult(
+            job_id=job.job_id,
+            state=state,
+            protocol_name=getattr(job.protocol, "name", ""),
+            run=attempt["run"],
+            error=error,
+            chip_id=worker.chip_id,
+            cache_hit=attempt["cache_hit"],
+            submitted_at=job.submitted_at,
+            started_at=started_at,
+            finished_at=started_at + attempt["duration"],
+            attempts=job.attempts + 1,
+        )
+        self.telemetry.observe_served(result)
+        return self._resolve(job, result)
+
+    def _run_leased_attempt(self, job, worker, lease, offset, started_at):
+        """One attempt of ``job`` inside its leased window.
+
+        The tenant runs on a region-clipped fresh view of the chip
+        template (the worker's die faults re-attached, seeded per
+        tenant) through a coordinate-translating
+        :class:`~repro.service.tenancy.LeasedBackend`, so co-tenants
+        stay isolated while the caller charges the group's merged chip
+        time once.  Returns the attempt record; never raises.
+        """
+        view = self._template.spawn()
+        view.set_region(lease.origin, lease.rows, lease.cols)
+        inner = view
+        if self._fault_plan is not None:
+            grid = view.grid
+            model = self._fault_plan.model_for(
+                worker.chip_id, (grid.rows, grid.cols)
+            )
+            inner = FaultInjector(
+                view, model,
+                seed=(self._fault_plan.seed, worker.chip_id,
+                      worker.restarts, job.job_id),
+            )
+        leased = LeasedBackend(inner, offset=offset)
+        session = Session(leased, registry=self.registry)
+        run = None
+        error = None
+        cache_hit = False
+        handles = {}
+        with tracing.span(
+            "attempt",
+            parent=self._job_spans.get(job.job_id),
+            attributes={
+                "attempt": job.attempts + 1,
+                "chip": worker.chip_id,
+                "leased": True,
+            },
+            clock=lambda: started_at + leased.elapsed,
+        ) as attempt_span:
+            try:
+                program, cache_hit = worker.cache.get_or_compile(
+                    job.protocol, session, registry=self.registry,
+                    fingerprint=job.fingerprint,
+                )
+                run = session.run(program, handles=handles)
+            except BiochipError as exc:
+                error = classify_error(
+                    exc, chip_id=worker.chip_id, attempts=job.attempts + 1
+                )
+            except Exception as exc:  # noqa: BLE001 -- same contract as
+                # _run_attempt: any dispatch bug terminalises the job
+                error = JobError(
+                    kind=ErrorKind.PERMANENT,
+                    message=f"unexpected {type(exc).__name__}: {exc}",
+                    cause=exc,
+                    chip_id=worker.chip_id,
+                    attempts=job.attempts + 1,
+                )
+            finally:
+                sweep_handles(leased, handles)
+            duration = leased.elapsed
+            if (error is None
+                    and self.config.job_timeout is not None
+                    and duration > self.config.job_timeout):
+                error = JobError(
+                    kind=ErrorKind.TIMEOUT,
+                    message=(
+                        f"attempt took {duration:.3f}s, over the "
+                        f"{self.config.job_timeout:.3f}s job timeout"
+                    ),
+                    chip_id=worker.chip_id,
+                    attempts=job.attempts + 1,
+                )
+                run = None  # past-budget results are discarded
+                self.telemetry.count("timeout")
+            if attempt_span.recording:
+                attempt_span.set_attribute("cache_hit", cache_hit)
+                if error is not None:
+                    error.trace_id = attempt_span.trace_id
+                    error.span_id = attempt_span.span_id
+                    attempt_span.set_attribute("error.kind", error.kind.value)
+                    attempt_span.set_error(error.message)
+        totals = getattr(view, "routing_totals", None)
+        if totals is not None:
+            # the view is fresh, so its totals ARE the attempt's delta
+            self.telemetry.observe_routing(totals)
+        if inner is not view:
+            # the tenant view's injector dies with the view; bank its
+            # counters like any other retired injector's
+            for name, value in inner.counters.items():
+                self._retired_faults[name] = (
+                    self._retired_faults.get(name, 0) + value
+                )
+        return {
+            "run": run,
+            "error": error,
+            "cache_hit": cache_hit,
+            "duration": duration,
+            "program_time": leased.program_time,
+            "frames": leased.frames,
+        }
 
     def _run_attempt(self, job, worker):
         """One guarded execution of ``job`` on ``worker``'s chip.

@@ -125,9 +125,13 @@ class Histogram:
 #: retries that landed on a different chip than the one that failed,
 #: attempts cut off by the per-job service-time budget, chips benched
 #: by the self-healing loop, and chip restarts (manual or cooldown).
+#: The third row is the multi-tenancy meters: region leases granted,
+#: tenants evicted by a fault in their group, and jobs whose frames
+#: landed in a merged (>= 2 tenant) frame group.
 COUNTER_NAMES = (
     "submitted", "completed", "failed", "rejected", "shed", "expired",
     "retried", "migrated", "timeout", "quarantined", "restarted",
+    "leased", "evicted", "merged",
 )
 
 
@@ -146,6 +150,12 @@ class Telemetry:
     )
     routing_plan_time: Histogram = field(
         default_factory=lambda: Histogram("routing_plan_time")
+    )
+    co_residency: Histogram = field(
+        default_factory=lambda: Histogram("co_residency")
+    )
+    frame_merge_ratio: Histogram = field(
+        default_factory=lambda: Histogram("frame_merge_ratio")
     )
     routing_totals: dict = field(
         default_factory=lambda: {
@@ -190,6 +200,14 @@ class Telemetry:
                     self.routing_totals[key] += value
         self.routing_plan_time.observe(delta.get("plan_seconds", 0.0))
 
+    def observe_tenancy(self, tenants, merge_ratio):
+        """Record one lease group dispatch: how many tenants shared the
+        chip and the frame-merge ratio their movement achieved
+        (sum of per-tenant frames over merged frames; 1.0 = nothing
+        merged)."""
+        self.co_residency.observe(tenants)
+        self.frame_merge_ratio.observe(merge_ratio)
+
     @property
     def served(self) -> int:
         return self.counters["completed"].value + self.counters["failed"].value
@@ -213,6 +231,11 @@ class Telemetry:
             "routing": {
                 **routing,
                 "plan_time": self.routing_plan_time.summary(),
+            },
+            "tenancy": {
+                "groups": self.co_residency.count,
+                "co_residency": self.co_residency.summary(),
+                "frame_merge_ratio": self.frame_merge_ratio.summary(),
             },
         }
         if fleet is not None:
@@ -297,6 +320,23 @@ class Telemetry:
             lines.append(
                 f'{namespace}_routing_total{{metric="{metric}"}} {value:.9g}'
             )
+        tenancy = snap["tenancy"]
+        lines += [
+            f"# HELP {namespace}_tenancy_groups_total Lease group "
+            f"dispatches.",
+            f"# TYPE {namespace}_tenancy_groups_total counter",
+            f"{namespace}_tenancy_groups_total {tenancy['groups']}",
+            f"# HELP {namespace}_tenancy_co_residency Mean co-resident "
+            f"tenants per lease group.",
+            f"# TYPE {namespace}_tenancy_co_residency gauge",
+            f"{namespace}_tenancy_co_residency "
+            f"{tenancy['co_residency']['mean']:.9g}",
+            f"# HELP {namespace}_tenancy_frame_merge_ratio Mean "
+            f"per-tenant frames over merged frames.",
+            f"# TYPE {namespace}_tenancy_frame_merge_ratio gauge",
+            f"{namespace}_tenancy_frame_merge_ratio "
+            f"{tenancy['frame_merge_ratio']['mean']:.9g}",
+        ]
         if fleet is not None:
             cache = snap["cache"]
             fleet_snap = snap["fleet"]
@@ -389,6 +429,22 @@ class Telemetry:
                         ["replans", str(routing["replans"])],
                     ],
                     title="batch routing (host time)",
+                )
+            )
+        tenancy = snap["tenancy"]
+        if tenancy["groups"]:
+            co = tenancy["co_residency"]
+            ratio = tenancy["frame_merge_ratio"]
+            sections.append(
+                ascii_table(
+                    ["metric", "mean", "p50", "max"],
+                    [
+                        ["co-residency", f"{co['mean']:.2f}",
+                         f"{co['p50']:.0f}", f"{co['max']:.0f}"],
+                        ["frame-merge ratio", f"{ratio['mean']:.2f}",
+                         f"{ratio['p50']:.2f}", f"{ratio['max']:.2f}"],
+                    ],
+                    title=f"multi-tenancy ({tenancy['groups']} lease groups)",
                 )
             )
         if fleet is not None:

@@ -1,0 +1,211 @@
+"""Spatial multi-tenancy: leased chip windows and cross-job frame merging.
+
+The paper's device is one active array where a single frame reprogram
+actuates *every* cage simultaneously -- yet exclusive serving grants each
+job the whole chip, idling ~99.9% of the pixels for a protocol that
+touches 30 cages.  This module provides the two primitives the
+multi-tenant mode is built from:
+
+* :func:`protocol_footprint` -- the static bounding box of every site a
+  protocol addresses, so the scheduler knows how small a window the job
+  can live in;
+* :class:`LeasedBackend` -- a coordinate-translating tenant view of a
+  chip: the job is compiled and executed in its own protocol
+  coordinates, the view shifts every site into the leased window before
+  it reaches the chip.  Because run events record *command* fields (the
+  protocol's own coordinates), a leased run's event stream is
+  bit-identical to the same job run exclusively on a pristine chip.
+
+The frame-merge cost model lives here too.  Each tenant's accounted
+time t_i splits into electronics time p_i (row/column reprogram work,
+serialized on the one frame bus) and dwell time (cages physically in
+flight, sedimentation, sensing integration -- all concurrent across
+disjoint regions).  Co-resident tenants therefore cost the chip
+
+    T_group = max_i(t_i - p_i) + sum_i p_i
+
+charged once and split across tenants, and the frame-merge ratio
+``sum_i f_i / max_i f_i`` reports how many per-tenant frames landed in
+each merged frame (1.0 = no merging, k = perfect k-way merge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..array.addressing import RowColumnAddresser
+from ..core.backend import Backend
+from ..core.protocol import (
+    IncubateCmd,
+    MergeCmd,
+    MoveCmd,
+    MoveManyCmd,
+    ReleaseCmd,
+    SenseAllCmd,
+    SenseCmd,
+    TrapCmd,
+)
+
+#: Command kinds that address no electrode site and never constrain the
+#: footprint (sensing a held cage, merge of already-placed cages, etc.).
+_SITELESS = (MergeCmd, SenseCmd, IncubateCmd, ReleaseCmd)
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Bounding box of the sites a protocol addresses, in its own
+    (protocol) coordinates."""
+
+    row0: int
+    col0: int
+    rows: int
+    cols: int
+
+
+def protocol_footprint(protocol):
+    """The static site bounding box of ``protocol``, or None.
+
+    None means the protocol is not leaseable: it addresses the whole
+    array (``SenseAllCmd``), contains a command kind this analysis does
+    not know, or traps/moves nothing at all.  The scheduler falls back
+    to exclusive dispatch for such jobs.
+    """
+    sites = []
+    for cmd in protocol.commands:
+        if isinstance(cmd, TrapCmd):
+            sites.append(cmd.site)
+        elif isinstance(cmd, MoveCmd):
+            sites.append(cmd.goal)
+        elif isinstance(cmd, MoveManyCmd):
+            sites.extend(goal for __, goal in cmd.moves)
+        elif isinstance(cmd, SenseAllCmd):
+            return None  # reads the whole array: needs the whole chip
+        elif not isinstance(cmd, _SITELESS):
+            return None  # unknown command kind: assume whole-chip
+    if not sites:
+        return None
+    rows = [site[0] for site in sites]
+    cols = [site[1] for site in sites]
+    return Footprint(
+        row0=min(rows),
+        col0=min(cols),
+        rows=max(rows) - min(rows) + 1,
+        cols=max(cols) - min(cols) + 1,
+    )
+
+
+def routing_separation(backend) -> int:
+    """The routing separation a backend enforces (guard-band width)."""
+    separation = getattr(backend, "min_separation", None)
+    if separation is None:
+        separation = getattr(
+            getattr(backend, "chip", None), "min_separation", 2
+        )
+    return int(separation)
+
+
+def merged_group_time(durations, program_times) -> float:
+    """Chip seconds of one frame-merged tenant group.
+
+    ``durations[i]`` is tenant i's full accounted time t_i on its leased
+    view; ``program_times[i]`` its metered electronics time p_i.  Dwell
+    (t_i - p_i) overlaps across disjoint regions, electronics serializes
+    on the frame bus:  T = max_i(t_i - p_i) + sum_i p_i.
+    """
+    if not durations:
+        return 0.0
+    dwell = max(
+        max(0.0, t - p) for t, p in zip(durations, program_times)
+    )
+    return dwell + sum(program_times)
+
+
+def frame_merge_ratio(frames) -> float:
+    """Per-tenant frames over merged frames: sum_i f_i / max_i f_i.
+
+    1.0 when nothing merged (single tenant, or no movement at all);
+    k for a perfect k-way merge of identical tenants.
+    """
+    peak = max(frames, default=0)
+    return sum(frames) / peak if peak else 1.0
+
+
+class LeasedBackend(Backend):
+    """A tenant's coordinate-translating view of a leased chip window.
+
+    Wraps an inner backend whose region mask is already clipped to the
+    lease and shifts every addressed site by ``offset`` (lease interior
+    origin minus the protocol footprint origin), so the tenant executes
+    in its own coordinates and the events it records are identical to
+    an exclusive-mode run.  Along the way it meters the two inputs of
+    the frame-merge cost model: ``program_time`` (electronics seconds
+    spent reprogramming frames) and ``frames`` (frame count of the
+    tenant's movement steps).
+    """
+
+    def __init__(self, inner, offset=(0, 0)):
+        self.inner = inner
+        self.offset = (int(offset[0]), int(offset[1]))
+        self._addresser = RowColumnAddresser(inner.grid)
+        self.program_time = 0.0
+        self.frames = 0
+
+    def _translate(self, site):
+        return (site[0] + self.offset[0], site[1] + self.offset[1])
+
+    # -- pass-through state -------------------------------------------------
+
+    @property
+    def grid(self):
+        return self.inner.grid
+
+    @property
+    def elapsed(self) -> float:
+        return self.inner.elapsed
+
+    @property
+    def cage_count(self) -> int:
+        return self.inner.cage_count
+
+    @property
+    def history(self):
+        return self.inner.history
+
+    @property
+    def routing_totals(self):
+        return self.inner.routing_totals
+
+    # -- translated + metered operations ------------------------------------
+
+    def trap(self, site, particle=None) -> int:
+        return self.inner.trap(self._translate(site), particle)
+
+    def move(self, cage_id, goal) -> int:
+        steps = self.inner.move(cage_id, self._translate(goal))
+        self.frames += steps
+        self.program_time += steps * 2 * self._addresser.row_write_time()
+        return steps
+
+    def move_many(self, goals) -> dict:
+        report = self.inner.move_many(
+            {cage_id: self._translate(goal)
+             for cage_id, goal in goals.items()}
+        )
+        self.frames += int(report.get("frames", 0))
+        self.program_time += float(report.get("program_time", 0.0))
+        return report
+
+    def merge(self, cage_id_a, cage_id_b) -> int:
+        return self.inner.merge(cage_id_a, cage_id_b)
+
+    def sense(self, cage_id, n_samples=1000):
+        return self.inner.sense(cage_id, n_samples)
+
+    def sense_all(self, n_samples=1000):
+        return self.inner.sense_all(n_samples)
+
+    def incubate(self, seconds):
+        return self.inner.incubate(seconds)
+
+    def release(self, cage_id):
+        return self.inner.release(cage_id)

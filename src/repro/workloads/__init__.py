@@ -9,6 +9,8 @@ from .protocols import (
     mixed_priority_traffic,
     serial_move_protocol,
     service_protocol_variant,
+    small_footprint_protocol,
+    small_footprint_traffic,
     sweep_protocols,
 )
 from .sorting import (

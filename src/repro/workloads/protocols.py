@@ -138,6 +138,66 @@ def hot_protocol_traffic(grid, n_jobs, n_variants=4, hot_fraction=0.9,
     return protocols
 
 
+def small_footprint_protocol(grid, variant=0, n_cages=2, separation=2,
+                             samples=120, travel=4, handle_prefix="c",
+                             name=None):
+    """One compact serving job: a few cages, short travel, small sense.
+
+    Unlike :func:`service_protocol_variant`, which spans half the chip,
+    this job's bounding box is a handful of rows by ``travel + 1``
+    columns anchored at the origin -- the shape the region-lease
+    allocator can pack many of side by side on one chip.  ``variant``
+    perturbs the sampling depth (and, mildly, the travel) so different
+    variants fingerprint differently while repeats of one variant hit
+    the compiled-program cache.
+    """
+    rows_needed = (n_cages - 1) * separation + 1
+    if rows_needed > grid.rows or travel + 1 > grid.cols:
+        raise ValueError(
+            f"small-footprint job ({rows_needed}x{travel + 1}) does not "
+            f"fit the {grid.rows}x{grid.cols} grid"
+        )
+    protocol = Protocol(name or f"sf-v{variant}")
+    sites = [(i * separation, 0) for i in range(n_cages)]
+    for i, site in enumerate(sites):
+        protocol.trap(f"{handle_prefix}{i}", site)
+    protocol.move_many(
+        {f"{handle_prefix}{i}": (site[0], travel)
+         for i, site in enumerate(sites)}
+    )
+    for i in range(n_cages):
+        protocol.sense(f"{handle_prefix}{i}", samples=samples * (1 + variant))
+    for i in range(n_cages):
+        protocol.release(f"{handle_prefix}{i}")
+    return protocol
+
+
+def small_footprint_traffic(grid, n_jobs, n_variants=4, hot_fraction=0.9,
+                            n_cages=2, samples=120, travel=4, seed=0,
+                            rng=None):
+    """Many independent few-cage jobs -- the multi-tenancy workload.
+
+    Same hot-variant repetition structure as :func:`hot_protocol_traffic`
+    but built from :func:`small_footprint_protocol`, so a single chip can
+    host several of these jobs under disjoint region leases at once.
+    """
+    rng = _traffic_rng(seed, rng)
+    protocols = []
+    for j in range(n_jobs):
+        if n_variants < 2 or rng.random() < hot_fraction:
+            variant = 0
+        else:
+            variant = int(rng.integers(1, n_variants))
+        protocols.append(
+            small_footprint_protocol(
+                grid, variant, n_cages=n_cages, samples=samples,
+                travel=travel, handle_prefix=f"j{j}h",
+                name=f"job{j}-sf{variant}",
+            )
+        )
+    return protocols
+
+
 def mixed_priority_traffic(grid, n_jobs, n_variants=3, priorities=(0, 1, 2),
                            n_cages=3, samples=200, seed=0, rng=None):
     """Serving traffic with random priorities: ``(protocol, priority)``
